@@ -1,0 +1,78 @@
+"""Ablation — the simulator-level cost of TPP support.
+
+Not a paper table, but a design-choice check DESIGN.md calls out: what does
+executing TPPs cost the functional switch model, and how does the per-packet
+cost scale with the instruction count?  This guards the substrate itself (the
+reproduction's switch must not be accidentally quadratic in instructions or
+hops) and quantifies the simulation overhead of instrumenting every packet.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_tpp
+from repro.net import Simulator, build_dumbbell, mbps, udp_packet
+from repro.stats import ExperimentSummary
+
+
+def _run_forwarding(instrumented: bool, packets: int = 300) -> float:
+    """Forward ``packets`` across the dumbbell; return events per packet."""
+    sim = Simulator()
+    topo = build_dumbbell(sim, link_rate_bps=mbps(100))
+    network = topo.network
+    compiled = compile_tpp(
+        "PUSH [Switch:SwitchID]\nPUSH [PacketMetadata:OutputPort]\n"
+        "PUSH [Queue:QueueOccupancy]", num_hops=6)
+    for i in range(packets):
+        packet = udp_packet("h0", "h5", 1000, dport=5000 + (i % 16))
+        if instrumented:
+            packet.attach_tpp(compiled.clone_tpp())
+        network.hosts["h0"].send(packet)
+    sim.run(until=5.0)
+    network.stop_switch_processes()
+    delivered = network.hosts["h5"].packets_received
+    assert delivered == packets
+    return sim.events_executed / packets
+
+
+@pytest.fixture(scope="module")
+def event_counts():
+    return {"plain": _run_forwarding(False), "instrumented": _run_forwarding(True)}
+
+
+def test_ablation_tpp_execution_cost(benchmark, event_counts, print_summary):
+    # Micro-kernel: per-instruction scaling — execute 1- vs 5-instruction TPPs.
+    one = compile_tpp("PUSH [Switch:SwitchID]", num_hops=6)
+    five = compile_tpp("\n".join(["PUSH [Switch:SwitchID]"] * 5), num_hops=6)
+
+    class _Memory:
+        def read(self, address, context):
+            return 1
+
+        def write(self, address, value, context):
+            return True
+
+    from repro.core.tcpu import PacketContext, TCPU
+    tcpu, memory, context = TCPU(), _Memory(), PacketContext()
+
+    def five_instruction_hop():
+        tcpu.execute(five.clone_tpp(), memory, context)
+
+    benchmark(five_instruction_hop)
+
+    import timeit
+    t_one = timeit.timeit(lambda: tcpu.execute(one.clone_tpp(), memory, context), number=2000)
+    t_five = timeit.timeit(lambda: tcpu.execute(five.clone_tpp(), memory, context), number=2000)
+
+    summary = ExperimentSummary("Ablation", "Cost of TPP support in the functional model")
+    summary.add("simulator events per plain packet", None, round(event_counts["plain"], 2))
+    summary.add("simulator events per instrumented packet", None,
+                round(event_counts["instrumented"], 2),
+                note="TPP execution adds no events, only per-hop work")
+    summary.add("5-instruction / 1-instruction execution cost ratio", 5.0,
+                round(t_five / t_one, 2), note="should scale roughly linearly")
+    print_summary(summary)
+
+    # TPP execution must not change the event structure of forwarding.
+    assert event_counts["instrumented"] == pytest.approx(event_counts["plain"], rel=0.01)
+    # And the per-hop execution cost is roughly linear in the instruction count.
+    assert 1.5 < t_five / t_one < 12

@@ -1,0 +1,68 @@
+"""E9 — Figure 10 / §6.2: end-host throughput versus TPP sampling frequency.
+
+The paper's microbenchmark is CPU-specific, so the absolute Gb/s come from a
+calibrated cost model; the *shape* is what matters: application goodput falls
+roughly by the TPP-header fraction as the sampling frequency rises towards
+every-packet, while on-wire network throughput stays nearly flat.  The
+functional software-shim cost (filter match + TPP attach) is benchmarked
+directly on this machine for context.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_tpp
+from repro.endhost.filters import FilterEntry, FilterTable, PacketFilter
+from repro.hardware import EndHostCostModel, FIGURE10_PAPER_GBPS
+from repro.net.packet import udp_packet
+from repro.stats import ExperimentSummary
+
+SAMPLING_POINTS = (1, 10, 20, float("inf"))
+
+
+def test_fig10_endhost_throughput(benchmark, print_summary):
+    # Micro-kernel: the shim's per-packet transmit work — one filter-table
+    # match plus cloning/attaching a 260-byte-class TPP.
+    table = FilterTable()
+    compiled = compile_tpp("PUSH [Switch:SwitchID]\nPUSH [Queue:QueueOccupancy]",
+                           num_hops=10)
+    table.install(FilterEntry(filter=PacketFilter(protocol="udp"), app_id=1,
+                              tpp_template=compiled))
+
+    def shim_transmit_path():
+        packet = udp_packet("h0", "h1", 1240)
+        entry = table.match(packet)
+        if entry is not None and entry.should_stamp(packet):
+            packet.attach_tpp(entry.tpp_template.clone_tpp())
+        return packet
+
+    benchmark(shim_transmit_path)
+
+    model = EndHostCostModel()
+    summary = ExperimentSummary("E9 / Figure 10",
+                                "End-host throughput vs TPP sampling frequency (Gb/s)")
+    summary.add("baseline goodput, 1 flow, no TPPs",
+                FIGURE10_PAPER_GBPS["goodput_1flow_no_tpp"],
+                round(model.application_goodput_bps(1, float("inf")) / 1e9, 2), unit="Gb/s")
+    summary.add("baseline goodput, 20 flows, no TPPs",
+                FIGURE10_PAPER_GBPS["goodput_20flows_no_tpp"],
+                round(model.application_goodput_bps(20, float("inf")) / 1e9, 2), unit="Gb/s")
+    for flows in (1, 10, 20):
+        for sampling in SAMPLING_POINTS:
+            label = "inf" if sampling == float("inf") else str(sampling)
+            summary.add(f"goodput, {flows:>2d} flows, sampling 1/{label}", None,
+                        round(model.application_goodput_bps(flows, sampling) / 1e9, 2),
+                        unit="Gb/s")
+    summary.add("network throughput change @sampling=1 (20 flows)", 0.0,
+                round(1 - model.network_throughput_bps(20, 1)
+                      / model.network_throughput_bps(20, float("inf")), 3),
+                note="paper: network throughput doesn't suffer much")
+    print_summary(summary)
+
+    # Shape assertions.
+    for flows in (1, 10, 20):
+        goodputs = [model.application_goodput_bps(flows, s) for s in SAMPLING_POINTS]
+        assert goodputs == sorted(goodputs)          # more TPPs -> less goodput
+        assert goodputs[0] / goodputs[-1] > 0.75     # but the drop is bounded (~header share)
+    network_drop = 1 - (model.network_throughput_bps(20, 1)
+                        / model.network_throughput_bps(20, float("inf")))
+    assert network_drop < 0.1

@@ -1,0 +1,68 @@
+"""E4 — §2.3 "Overheads": packet-history (NetSight/ndb) bandwidth overhead.
+
+The packet-history TPP is 12 bytes of instructions plus 6 bytes per hop; with
+the 12-byte TPP header and space for 10 hops that is 84 bytes per packet —
+an 8.4 % bandwidth overhead on 1000-byte packets when every packet is
+instrumented, proportionally less under sampling.  The benchmark also runs a
+small end-to-end deployment to confirm the measured on-wire inflation matches
+the arithmetic.
+"""
+
+import pytest
+
+from repro.apps.netsight import (deploy_netsight, history_bandwidth_overhead,
+                                 history_from_tpp, history_overhead_bytes,
+                                 packet_history_tpp)
+from repro.endhost import Collector, install_stacks
+from repro.net import Simulator, build_dumbbell, mbps, udp_packet
+from repro.stats import ExperimentSummary
+
+
+@pytest.fixture(scope="module")
+def deployment_measurement():
+    """Send 200 one-thousand-byte packets with packet-history TPPs attached."""
+    sim = Simulator()
+    topo = build_dumbbell(sim, link_rate_bps=mbps(10))
+    stacks = install_stacks(topo.network)
+    deployed = deploy_netsight(stacks, Collector(), num_hops=10)
+    sender = topo.network.hosts["h0"]
+    baseline_bytes = 0
+    for i in range(200):
+        packet = udp_packet("h0", "h5", 958, dport=4000 + (i % 8))   # 1000 B on the wire
+        baseline_bytes += packet.size
+        sender.send(packet)
+    sim.run(until=2.0)
+    topo.network.stop_switch_processes()
+    wire_bytes = sender.bytes_sent
+    histories = sum(len(agg.store) for agg in deployed.aggregators.values())
+    return {"overhead_fraction": (wire_bytes - baseline_bytes) / baseline_bytes,
+            "histories": histories}
+
+
+def test_netsight_overhead(benchmark, deployment_measurement, print_summary):
+    # Micro-kernel: reconstructing a packet history from a completed TPP — the
+    # per-packet work of the NetSight aggregator.
+    compiled = packet_history_tpp(num_hops=10)
+    template = compiled.clone_tpp()
+    for hop in range(5):
+        for value in (hop + 1, 17, 2):
+            template.push(value)
+        template.advance_hop()
+    packet = udp_packet("h0", "h5", 958)
+    packet.delivered_at = 1.0
+    benchmark(lambda: history_from_tpp(template, packet))
+
+    summary = ExperimentSummary("E4 / §2.3 overheads", "Packet-history collection overhead")
+    summary.add("TPP size (10-hop packet memory)", 84, history_overhead_bytes(10), unit="bytes")
+    summary.add("bandwidth overhead @1000B packets, every packet", 0.084,
+                round(history_bandwidth_overhead(1000, 10), 4))
+    summary.add("bandwidth overhead @1000B packets, 1-in-10 sampling", 0.0084,
+                round(history_bandwidth_overhead(1000, 10, 10), 4))
+    summary.add("measured on-wire inflation (dumbbell deployment)", 0.084,
+                round(deployment_measurement["overhead_fraction"], 4))
+    summary.add("histories reconstructed", 200, float(deployment_measurement["histories"]))
+    print_summary(summary)
+
+    assert history_overhead_bytes(10) == 84
+    assert deployment_measurement["overhead_fraction"] == pytest.approx(0.084, rel=0.05)
+    assert deployment_measurement["histories"] == 200

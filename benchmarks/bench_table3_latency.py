@@ -1,0 +1,72 @@
+"""E7 — Table 3 / §6.1: hardware latency costs of executing TPPs.
+
+The per-step cycle costs are the paper's own inputs (NetFPGA synthesis, ASIC
+designers' estimates); the benchmark recombines them into the reported
+headline numbers: a 50 ns worst-case added latency on a 1 GHz ASIC, 6.25 kB
+of buffering at 1 Tb/s, a 10–25 % relative increase over a 200–500 ns switch
+transit, and a functional-model measurement of how long the software TCPU
+takes per TPP (the simulator's own cost, for context).
+"""
+
+import pytest
+
+from repro.core.compiler import compile_tpp
+from repro.core.tcpu import PacketContext, TCPU
+from repro.hardware import (ASIC, NETFPGA, TABLE3_PAPER_CYCLES, build_latency_report,
+                            packetization_latency_ns, worst_case_tpp)
+from repro.stats import ExperimentSummary
+
+
+def test_table3_latency_costs(benchmark, print_summary):
+    # Micro-kernel: functional-model execution of a worst-case (5x CSTORE) TPP.
+    source = "\n".join(
+        "CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]" for _ in range(5))
+    compiled = compile_tpp(source, num_hops=1, max_instructions=5)
+
+    class _Memory:
+        def __init__(self):
+            self.value = 0
+
+        def read(self, address, context):
+            return self.value
+
+        def write(self, address, value, context):
+            self.value = value
+            return True
+
+    tcpu, memory, context = TCPU(), _Memory(), PacketContext()
+
+    def run_once():
+        tpp = compiled.clone_tpp()
+        return tcpu.execute(tpp, memory, context)
+
+    benchmark(run_once)
+
+    asic = build_latency_report(ASIC)
+    netfpga = build_latency_report(NETFPGA)
+
+    summary = ExperimentSummary("E7 / Table 3", "Hardware latency costs")
+    for row, (netfpga_cycles, asic_cycles) in TABLE3_PAPER_CYCLES.items():
+        summary.add(f"{row} (ASIC cycles)", asic_cycles, asic_cycles,
+                    note="paper-reported input constant")
+    summary.add("worst-case added latency, ASIC", 50.0, round(asic.worst_case_added_ns, 1),
+                unit="ns")
+    summary.add("buffering to absorb stall @1Tb/s", 6250.0,
+                round(asic.buffering_bytes_at_1tbps, 1), unit="bytes")
+    summary.add("relative increase vs 500ns switch", 0.10,
+                round(asic.relative_increase_range[0], 3))
+    summary.add("relative increase vs 200ns switch", 0.25,
+                round(asic.relative_increase_range[1], 3))
+    summary.add("packetisation latency, 64B @10Gb/s", 51.2,
+                round(packetization_latency_ns(), 1), unit="ns")
+    summary.add("NetFPGA per-stage added cycles", 2.5,
+                round(netfpga.added_per_stage_cycles, 2),
+                note="measured per-stage total was 2 cycles")
+    print_summary(summary)
+
+    assert asic.worst_case_added_ns == pytest.approx(50.0)
+    assert asic.buffering_bytes_at_1tbps == pytest.approx(6250.0)
+    assert asic.relative_increase_range == (pytest.approx(0.10), pytest.approx(0.25))
+    assert netfpga.added_per_stage_cycles <= 3.5
+    assert ASIC.tpp_added_latency_ns(worst_case_tpp()) > \
+        ASIC.tpp_added_latency_ns(compile_tpp("PUSH [Switch:SwitchID]").tpp.instructions)

@@ -1,0 +1,33 @@
+"""E8 — Table 4 / §6.1: die-area cost of TPP support.
+
+NetFPGA synthesis numbers (slices, registers, LUTs, LUT-FF pairs) are
+reproduced as calibration constants and re-expressed as the percentage
+increases the paper reports; the ASIC figure is the Bosshart-et-al. scaling
+argument: 320 TCPU execution units ≈ 0.32 % of die area.
+"""
+
+import pytest
+
+from repro.hardware import (NETFPGA_TABLE4, NETFPGA_TABLE4_PAPER_PERCENT,
+                            asic_tcpu_area_percent, build_area_report)
+from repro.stats import ExperimentSummary
+
+
+def test_table4_area_costs(benchmark, print_summary):
+    benchmark(build_area_report)
+
+    report = build_area_report()
+    summary = ExperimentSummary("E8 / Table 4", "Hardware area cost of the TCPU")
+    for row in NETFPGA_TABLE4:
+        paper = NETFPGA_TABLE4_PAPER_PERCENT[row.name]
+        summary.add(f"NetFPGA {row.name} extra", paper,
+                    round(report.netfpga_percent_extra[row.name], 1), unit="%")
+    summary.add("ASIC TCPU execution units", 320, float(report.asic_tcpu_units))
+    summary.add("ASIC area for TPP support", 0.32, round(report.asic_area_percent, 3),
+                unit="%")
+    print_summary(summary)
+
+    for name, paper in NETFPGA_TABLE4_PAPER_PERCENT.items():
+        assert report.netfpga_percent_extra[name] == pytest.approx(paper, abs=0.1)
+    assert report.asic_area_percent == pytest.approx(0.32)
+    assert asic_tcpu_area_percent(instructions_per_packet=5, stages=64) < 7.0

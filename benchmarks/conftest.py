@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure from the paper's
+evaluation.  The pattern is:
+
+* run the (possibly expensive) experiment once per session in a fixture,
+* time a representative micro-kernel with pytest-benchmark so the run also
+  yields machine-performance numbers,
+* print a paper-vs-measured comparison table (via ``print_summary``) so the
+  harness output contains the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats import ExperimentSummary
+
+
+@pytest.fixture()
+def print_summary(capsys):
+    """Print an ExperimentSummary even under pytest's output capturing."""
+
+    def _print(summary: ExperimentSummary) -> None:
+        with capsys.disabled():
+            print()
+            print(summary.render())
+
+    return _print

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Micro-burst detection (§2.1 / Figure 1): per-packet queue visibility.
+
+Reproduces the Figure 1 experiment: six hosts on a dumbbell exchange 10 kB
+messages at 30 % offered load, every packet carries the queue-occupancy TPP,
+and the receivers' samples are aggregated into per-queue distributions.  The
+output is the textual version of Figure 1b — a CDF summary and a short time
+series excerpt for the busiest queue — plus the contrast with what a 1-second
+polling monitor would have seen.
+
+Run with:  python examples/microburst_monitoring.py
+"""
+
+from repro.apps.microburst import run_microburst_experiment
+from repro.net import mbps
+from repro.stats import fractiles
+
+
+def main() -> None:
+    print("running the Figure 1 workload (this takes a few seconds)...\n")
+    result = run_microburst_experiment(duration_s=1.5, link_rate_bps=mbps(10),
+                                       offered_load=0.3, message_bytes=10_000, seed=1)
+
+    print(f"messages sent:        {result.messages_sent}")
+    print(f"instrumented packets: {result.packets_instrumented}")
+    print(f"queue samples:        {len(result.samples)} "
+          f"(TPP overhead {result.tpp_overhead_bytes_per_packet} bytes/packet)\n")
+
+    print("per-queue occupancy distribution (packets), from per-packet TPP samples:")
+    print(f"  {'queue':<16s} {'samples':>8s} {'empty%':>7s} {'p50':>5s} {'p90':>5s} "
+          f"{'p99':>5s} {'max':>5s}")
+    for queue in result.observed_queues:
+        series = result.series[queue]
+        if len(series) < 20:
+            continue
+        quantiles = fractiles(series.values, (0.5, 0.9, 0.99))
+        print(f"  switch{queue[0]}.port{queue[1]:<8d} {len(series):>8d} "
+              f"{100 * result.fraction_empty(queue):>6.1f}% "
+              f"{quantiles[0.5]:>5.0f} {quantiles[0.9]:>5.0f} {quantiles[0.99]:>5.0f} "
+              f"{series.maximum():>5.0f}")
+
+    busiest = max(result.observed_queues, key=result.max_occupancy)
+    series = result.series[busiest]
+    print(f"\ntime-series excerpt for the busiest queue switch{busiest[0]}.port{busiest[1]} "
+          f"(time s -> occupancy):")
+    step = max(1, len(series) // 20)
+    excerpt = [f"{t:.3f}->{int(v)}" for t, v in
+               list(zip(series.times, series.values))[::step][:20]]
+    print("  " + "  ".join(excerpt))
+
+    print("\nwhy polling misses this: the same queue, sampled once a second, would "
+          "almost always read 0-2 packets; the bursts above live for a few "
+          "milliseconds and are only visible because every packet reports the "
+          "occupancy it actually experienced.")
+
+
+if __name__ == "__main__":
+    main()

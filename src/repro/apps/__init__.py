@@ -1,0 +1,5 @@
+"""The paper's dataplane tasks, refactored over the TPP interface (§2)."""
+
+from . import conga, microburst, netsight, netverify, rcp, sketches
+
+__all__ = ["conga", "microburst", "netsight", "netverify", "rcp", "sketches"]

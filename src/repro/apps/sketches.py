@@ -1,0 +1,192 @@
+"""Low-overhead measurement with sketches (§2.5, Figure 5).
+
+OpenSketch adds hash/filter/count hardware to switches; the TPP refactoring
+keeps switches dumb and moves the sketching to end-hosts, which only need the
+packet's routing context.  Every participating host stamps (a sample of) its
+packets with::
+
+    PUSH [Switch:ID]
+    PUSH [PacketMetadata:OutputPort]
+
+The receiving host hashes the header field of interest (here: the destination
+IP, i.e. the destination host name) and sets one bit in a per-link bitmap for
+every (switch, output port) pair the packet traversed.  Bitmaps are pushed to
+a link-monitoring service which ORs them together — the bit-set operation is
+commutative, so distribution over hosts is free — and the per-link distinct
+count is estimated with the linear-probabilistic-counting formula
+``b * ln(b / z)`` (Estan, Varghese, Fisk), where ``z`` is the number of zero
+bits among ``b``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.compiler import CompiledTPP, compile_tpp
+from repro.core.packet_format import TPP
+from repro.endhost import (Aggregator, Collector, EndHostStack, PacketFilter,
+                           PiggybackApplication, deploy)
+from repro.net.packet import Packet
+
+SKETCH_TPP_SOURCE = """
+PUSH [Switch:ID]
+PUSH [PacketMetadata:OutputPort]
+"""
+
+VALUES_PER_HOP = 2
+
+
+def sketch_tpp(num_hops: int = 10, app_id: int = 0) -> CompiledTPP:
+    """Compile the §2.5 routing-context TPP."""
+    return compile_tpp(SKETCH_TPP_SOURCE, num_hops=num_hops, app_id=app_id)
+
+
+def _hash_to_bit(element: str, bits: int, salt: int = 0) -> int:
+    digest = hashlib.blake2b(f"{salt}:{element}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % bits
+
+
+class BitmapSketch:
+    """A linear-counting bitmap sketch for distinct-element estimation."""
+
+    def __init__(self, bits: int = 1024, salt: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError("bitmap size must be positive")
+        self.bits = bits
+        self.salt = salt
+        self.bitmap = bytearray(bits // 8 + (1 if bits % 8 else 0))
+
+    def add(self, element: str) -> None:
+        index = _hash_to_bit(element, self.bits, self.salt)
+        self.bitmap[index // 8] |= 1 << (index % 8)
+
+    def set_bits(self) -> int:
+        return sum(bin(byte).count("1") for byte in self.bitmap)
+
+    def zero_bits(self) -> int:
+        return self.bits - self.set_bits()
+
+    def estimate(self) -> float:
+        """The linear-counting estimate ``b * ln(b / z)``."""
+        zeros = self.zero_bits()
+        if zeros == 0:
+            # Saturated bitmap: the estimator diverges; report the coupon-
+            # collector style upper bound instead of infinity.
+            return float(self.bits * math.log(self.bits))
+        return self.bits * math.log(self.bits / zeros)
+
+    def merge(self, other: "BitmapSketch") -> None:
+        """OR another bitmap into this one (the commutative aggregation)."""
+        if other.bits != self.bits or other.salt != self.salt:
+            raise ValueError("can only merge sketches with identical geometry")
+        for i, byte in enumerate(other.bitmap):
+            self.bitmap[i] |= byte
+
+    def memory_bytes(self) -> int:
+        return len(self.bitmap)
+
+
+@dataclass(frozen=True)
+class LinkKey:
+    """Identifies one directed link: (switch id, output port)."""
+
+    switch_id: int
+    output_port: int
+
+
+class SketchAggregator(Aggregator):
+    """Per-host aggregator: one bitmap per traversed link, keyed by the TPP's context."""
+
+    def __init__(self, host_name: str, collector: Optional[Collector] = None,
+                 bits: int = 1024, key_field: str = "src") -> None:
+        super().__init__(host_name, collector)
+        self.bits = bits
+        self.key_field = key_field
+        self.bitmaps: dict[LinkKey, BitmapSketch] = {}
+
+    def on_tpp(self, tpp: TPP, packet: Packet) -> None:
+        super().on_tpp(tpp, packet)
+        element = getattr(packet, self.key_field, packet.src)
+        for hop in tpp.words_by_hop(VALUES_PER_HOP)[:tpp.hop_number]:
+            if len(hop) < VALUES_PER_HOP:
+                continue
+            key = LinkKey(switch_id=hop[0], output_port=hop[1])
+            sketch = self.bitmaps.setdefault(key, BitmapSketch(self.bits))
+            sketch.add(element)
+
+    def summarize(self) -> dict[LinkKey, BitmapSketch]:
+        return dict(self.bitmaps)
+
+    def memory_bytes(self) -> int:
+        return sum(sketch.memory_bytes() for sketch in self.bitmaps.values())
+
+
+class LinkMonitoringService(Collector):
+    """The central (logically load-balanced) service aggregating host bitmaps."""
+
+    def __init__(self, bits: int = 1024) -> None:
+        super().__init__("link-monitoring-service")
+        self.bits = bits
+        self.per_link: dict[LinkKey, BitmapSketch] = {}
+
+    def submit(self, host_name: str, summary: object) -> None:
+        super().submit(host_name, summary)
+        if not isinstance(summary, dict):
+            return
+        for key, sketch in summary.items():
+            if not isinstance(key, LinkKey) or not isinstance(sketch, BitmapSketch):
+                continue
+            merged = self.per_link.setdefault(key, BitmapSketch(self.bits))
+            merged.merge(sketch)
+
+    def estimate(self, key: LinkKey) -> float:
+        sketch = self.per_link.get(key)
+        return sketch.estimate() if sketch is not None else 0.0
+
+    def estimates(self) -> dict[LinkKey, float]:
+        return {key: sketch.estimate() for key, sketch in self.per_link.items()}
+
+    def total_memory_bytes(self) -> int:
+        return sum(sketch.memory_bytes() for sketch in self.per_link.values())
+
+
+def deploy_sketch_application(stacks: dict[str, EndHostStack],
+                              service: LinkMonitoringService,
+                              bits: int = 1024, key_field: str = "src",
+                              sample_frequency: int = 1, num_hops: int = 10):
+    """Deploy the distinct-count sketch as a piggy-backed application."""
+    any_stack = next(iter(stacks.values()))
+
+    def factory(host_name: str, collector: Optional[Collector]) -> SketchAggregator:
+        return SketchAggregator(host_name, collector, bits=bits, key_field=key_field)
+
+    descriptor = PiggybackApplication(
+        name="opensketch-distinct-count",
+        packet_filter=PacketFilter(protocol="udp"),
+        compiled_tpp=sketch_tpp(num_hops=num_hops),
+        aggregator_factory=factory,
+        collector=service,
+        sample_frequency=sample_frequency,
+    )
+    return deploy(descriptor, stacks, any_stack.control_plane)
+
+
+def sketch_memory_projection(num_links: int = 65_536, bits_per_link: int = 1024,
+                             num_servers: int = 65_536) -> dict[str, float]:
+    """The §2.5 back-of-envelope: memory per server for a k=64 fat tree.
+
+    With 1 kbit of bitmap per link and 65 536 core links, each server holds
+    about 8 MB of sketch state.
+    """
+    per_link_bytes = bits_per_link / 8
+    total_bytes = num_links * per_link_bytes
+    return {
+        "per_link_bytes": per_link_bytes,
+        "total_bytes_per_server": total_bytes,
+        "total_megabytes_per_server": total_bytes / 1e6,
+        "num_links": float(num_links),
+        "num_servers": float(num_servers),
+    }

@@ -1,0 +1,12 @@
+"""Baselines the paper's evaluation compares against."""
+
+from .ecmp import EcmpSplit, expected_figure4_conga, expected_figure4_ecmp, hash_split
+from .exact_counter import ExactDistinctCounter
+from .polling_monitor import PollingMonitor
+from .tcp_baseline import TcpOverheadResult, run_tcp_overhead_experiment
+
+__all__ = [
+    "EcmpSplit", "ExactDistinctCounter", "PollingMonitor", "TcpOverheadResult",
+    "expected_figure4_conga", "expected_figure4_ecmp", "hash_split",
+    "run_tcp_overhead_experiment",
+]

@@ -1,0 +1,72 @@
+"""ECMP baseline for the load-balancing comparison (Figure 4).
+
+ECMP is what the CONGA* experiment is compared against: flows are pinned to a
+path by a hash (or, for the deterministic variant the experiment uses, by a
+round-robin tag assignment), and never move regardless of congestion.  The
+actual packet-level behaviour is produced by the group tables in
+:mod:`repro.switches.tables`; this module provides the analytic helpers the
+benchmarks use to sanity-check the simulated outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.switches.tables import select_by_hash
+from repro.net.packet import udp_packet
+
+
+@dataclass
+class EcmpSplit:
+    """How a set of flows lands on the available paths under hash-based ECMP."""
+
+    flows_per_path: dict[int, int]
+    load_per_path_bps: dict[int, float]
+
+    @property
+    def max_load_bps(self) -> float:
+        return max(self.load_per_path_bps.values()) if self.load_per_path_bps else 0.0
+
+
+def hash_split(src: str, dst: str, dports: list[int], num_paths: int,
+               flow_rate_bps: float, salt: int = 0) -> EcmpSplit:
+    """Predict the ECMP placement of equal-rate flows identified by dport."""
+    flows_per_path = {path: 0 for path in range(num_paths)}
+    for dport in dports:
+        packet = udp_packet(src, dst, 100, dport=dport)
+        path = select_by_hash(packet, list(range(num_paths)), salt)
+        flows_per_path[path] += 1
+    load = {path: count * flow_rate_bps for path, count in flows_per_path.items()}
+    return EcmpSplit(flows_per_path=flows_per_path, load_per_path_bps=load)
+
+
+def expected_figure4_ecmp(link_rate_bps: float, demand_l0_bps: float,
+                          demand_l1_bps: float) -> dict[str, float]:
+    """The paper's Figure 4 arithmetic for ECMP with an even split of L1's traffic.
+
+    L1's demand splits evenly over two paths; the path shared with L0 is
+    oversubscribed, so both aggregates lose traffic proportionally on that
+    link while the other path delivers its half untouched.
+    """
+    l1_per_path = demand_l1_bps / 2.0
+    shared_offered = demand_l0_bps + l1_per_path
+    if shared_offered <= link_rate_bps:
+        return {"L0:L2": demand_l0_bps, "L1:L2": demand_l1_bps,
+                "max_utilization": max(shared_offered, l1_per_path) / link_rate_bps}
+    scale = link_rate_bps / shared_offered
+    return {
+        "L0:L2": demand_l0_bps * scale,
+        "L1:L2": l1_per_path * scale + l1_per_path,
+        "max_utilization": 1.0,
+    }
+
+
+def expected_figure4_conga(link_rate_bps: float, demand_l0_bps: float,
+                           demand_l1_bps: float) -> dict[str, float]:
+    """The optimum CONGA* approaches: meet both demands, minimise the max utilisation."""
+    total = demand_l0_bps + demand_l1_bps
+    if total > 2 * link_rate_bps:
+        raise ValueError("demands exceed the bisection; the example assumes they fit")
+    balanced = total / 2.0
+    return {"L0:L2": demand_l0_bps, "L1:L2": demand_l1_bps,
+            "max_utilization": max(balanced, demand_l0_bps) / link_rate_bps}

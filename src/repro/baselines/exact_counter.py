@@ -1,0 +1,38 @@
+"""Exact distinct counting — the ground truth the bitmap sketch is compared to.
+
+OpenSketch's (and §2.5's) accuracy claims are relative to exact per-link
+distinct counts; :class:`ExactDistinctCounter` keeps a Python set per link so
+the benchmark can report the sketch's relative error and memory saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.sketches import LinkKey
+
+
+@dataclass
+class ExactDistinctCounter:
+    """Per-link exact distinct-element counts (unbounded memory)."""
+
+    per_link: dict[LinkKey, set[str]] = field(default_factory=dict)
+
+    def add(self, key: LinkKey, element: str) -> None:
+        self.per_link.setdefault(key, set()).add(element)
+
+    def count(self, key: LinkKey) -> int:
+        return len(self.per_link.get(key, ()))
+
+    def counts(self) -> dict[LinkKey, int]:
+        return {key: len(elements) for key, elements in self.per_link.items()}
+
+    def memory_bytes(self) -> int:
+        """A rough memory footprint: ~64 bytes per stored element key."""
+        return sum(len(elements) for elements in self.per_link.values()) * 64
+
+    def relative_error(self, key: LinkKey, estimate: float) -> float:
+        truth = self.count(key)
+        if truth == 0:
+            return 0.0 if estimate == 0 else float("inf")
+        return abs(estimate - truth) / truth

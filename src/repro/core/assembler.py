@@ -1,0 +1,155 @@
+"""Assembler for the TPP pseudo-assembly used throughout the paper.
+
+The accepted syntax is exactly what the paper writes in §2, e.g.::
+
+    PUSH [Switch:SwitchID]
+    PUSH [Link:QueueSize]
+    PUSH [Link:RX-Utilization]
+    PUSH [Link:AppSpecific_0]   # Version number
+    PUSH [Link:AppSpecific_1]   # Rfair
+
+    CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+    STORE  [Link:AppSpecific_1], [Packet:Hop[2]]
+
+* ``#`` starts a comment; blank lines are ignored; a trailing ``\\`` continues
+  the statement on the next line (the paper wraps its CSTORE this way).
+* Switch operands use the mnemonics of :mod:`repro.core.addressing`.
+* Packet operands are written ``[Packet:Hop[k]]`` (case-insensitive ``hop``).
+* ``CSTORE dst, old, new`` requires ``new`` to be the word following ``old``
+  because the 4-byte wire encoding stores a single packet offset (the "old"
+  word) and defines "new" as the next word — the paper's own examples always
+  use adjacent words.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from . import addressing
+from .exceptions import AssemblyError
+from .isa import Instruction, Opcode
+
+_PACKET_OPERAND_RE = re.compile(
+    r"^\[?\s*Packet\s*:\s*[Hh]op\s*\[\s*(?P<offset>\d+)\s*\]\s*\]?$")
+
+
+def _strip_comment(line: str) -> str:
+    if "#" in line:
+        line = line[:line.index("#")]
+    return line.strip()
+
+
+def _split_statements(text: str) -> list[str]:
+    """Join continuation lines and drop comments/blank lines."""
+    statements: list[str] = []
+    pending = ""
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1].strip() + " "
+            continue
+        statements.append((pending + line).strip())
+        pending = ""
+    if pending.strip():
+        statements.append(pending.strip())
+    return statements
+
+
+def _split_operands(operand_text: str) -> list[str]:
+    """Split on commas that are not inside brackets."""
+    operands, depth, current = [], 0, ""
+    for char in operand_text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def parse_packet_operand(operand: str) -> Optional[int]:
+    """Return the hop word offset for a ``[Packet:Hop[k]]`` operand, else None."""
+    match = _PACKET_OPERAND_RE.match(operand.strip())
+    if match is None:
+        return None
+    return int(match.group("offset"))
+
+
+def parse_switch_operand(operand: str) -> int:
+    """Resolve a switch-memory operand mnemonic to a virtual address."""
+    operand = operand.strip()
+    # Allow raw hexadecimal/decimal addresses for tooling and tests.
+    if re.fullmatch(r"0[xX][0-9a-fA-F]+|\d+", operand):
+        return int(operand, 0)
+    try:
+        return addressing.resolve(operand)
+    except addressing.AddressError as exc:  # type: ignore[attr-defined]
+        raise AssemblyError(str(exc)) from exc
+
+
+def parse_statement(statement: str) -> Instruction:
+    """Parse one statement into an :class:`Instruction`."""
+    parts = statement.split(None, 1)
+    mnemonic = parts[0].upper()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(operand_text)
+
+    try:
+        opcode = Opcode[mnemonic]
+    except KeyError:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r} in statement {statement!r}") from None
+
+    if opcode is Opcode.NOP:
+        if operands:
+            raise AssemblyError("NOP takes no operands")
+        return Instruction(Opcode.NOP)
+
+    if opcode in (Opcode.PUSH, Opcode.POP):
+        if len(operands) != 1:
+            raise AssemblyError(f"{mnemonic} takes exactly one switch operand: {statement!r}")
+        return Instruction(opcode, address=parse_switch_operand(operands[0]))
+
+    if opcode in (Opcode.LOAD, Opcode.STORE, Opcode.CEXEC):
+        if len(operands) != 2:
+            raise AssemblyError(f"{mnemonic} takes two operands: {statement!r}")
+        address = parse_switch_operand(operands[0])
+        offset = parse_packet_operand(operands[1])
+        if offset is None:
+            raise AssemblyError(
+                f"{mnemonic}'s second operand must be a [Packet:Hop[k]] reference: {statement!r}")
+        return Instruction(opcode, address=address, packet_offset=offset)
+
+    if opcode is Opcode.CSTORE:
+        if len(operands) != 3:
+            raise AssemblyError(f"CSTORE takes three operands: {statement!r}")
+        address = parse_switch_operand(operands[0])
+        old_offset = parse_packet_operand(operands[1])
+        new_offset = parse_packet_operand(operands[2])
+        if old_offset is None or new_offset is None:
+            raise AssemblyError(f"CSTORE's last two operands must be packet references: {statement!r}")
+        if new_offset != old_offset + 1:
+            raise AssemblyError(
+                "CSTORE requires the 'new' operand to be the packet word immediately "
+                f"after 'old' (got Hop[{old_offset}] and Hop[{new_offset}])")
+        return Instruction(opcode, address=address, packet_offset=old_offset)
+
+    raise AssemblyError(f"unsupported opcode {mnemonic}")  # pragma: no cover
+
+
+def parse_program(text: str) -> list[Instruction]:
+    """Parse a multi-line pseudo-assembly program into instructions."""
+    return [parse_statement(statement) for statement in _split_statements(text)]
+
+
+def disassemble(instructions: list[Instruction]) -> str:
+    """Render instructions back into pseudo-assembly (round-trips with parse)."""
+    return "\n".join(str(instruction) for instruction in instructions)

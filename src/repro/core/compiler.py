@@ -1,0 +1,133 @@
+"""TPP compiler: from pseudo-assembly to a wire-ready :class:`~repro.core.packet_format.TPP`.
+
+The compiler ties together the assembler, the addressing map, and the packet
+format.  It also implements the PUSH/POP serialisation trick of §3.5: because
+packet-memory addresses of PUSH/POP are known as soon as the instructions are
+parsed, a stack-addressed program can be rewritten into an equivalent
+hop-addressed program of LOADs and STOREs that a distributed, out-of-order
+TCPU can execute at whatever stage holds each operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .assembler import parse_program
+from .exceptions import AssemblyError
+from .isa import Instruction, MAX_INSTRUCTIONS, Opcode
+from .packet_format import AddressingMode, DEFAULT_WORD_BYTES, TPP, make_tpp
+
+
+@dataclass
+class CompiledTPP:
+    """Result of a compilation: the TPP plus metadata the end-host needs."""
+
+    tpp: TPP
+    source: str
+    values_per_hop: int
+
+    def clone_tpp(self) -> TPP:
+        """A fresh copy of the template TPP (one per stamped packet)."""
+        return self.tpp.clone()
+
+
+def expand_stack_program(instructions: list[Instruction]) -> tuple[list[Instruction], int]:
+    """Rewrite PUSH/POP into hop-addressed LOAD/STORE (§3.5).
+
+    Returns the rewritten program and the number of packet-memory words each
+    hop consumes.  Instructions that already use explicit packet offsets keep
+    them; PUSHes are assigned consecutive offsets in program order, preserving
+    the paper's guarantee that pushed values appear in push order.
+    """
+    rewritten: list[Instruction] = []
+    next_offset = 0
+    for instruction in instructions:
+        if instruction.opcode is Opcode.PUSH:
+            rewritten.append(Instruction(Opcode.LOAD, address=instruction.address,
+                                         packet_offset=next_offset))
+            next_offset += 1
+        elif instruction.opcode is Opcode.POP:
+            rewritten.append(Instruction(Opcode.STORE, address=instruction.address,
+                                         packet_offset=next_offset))
+            next_offset += 1
+        else:
+            rewritten.append(instruction)
+            if instruction.opcode is Opcode.CSTORE:
+                # CSTORE consumes two words (old, new) and rewrites "old".
+                next_offset = max(next_offset, instruction.packet_offset + 2)
+            elif instruction.opcode is Opcode.CEXEC:
+                next_offset = max(next_offset, instruction.packet_offset + 2)
+            elif instruction.opcode in (Opcode.LOAD, Opcode.STORE):
+                next_offset = max(next_offset, instruction.packet_offset + 1)
+    return rewritten, max(next_offset, 1)
+
+
+def compile_tpp(source: str, *, num_hops: int = 10,
+                mode: Optional[AddressingMode] = None,
+                word_bytes: int = DEFAULT_WORD_BYTES,
+                app_id: int = 0,
+                initial_values: Optional[Iterable[int]] = None,
+                expand_stack: bool = False,
+                max_instructions: int = MAX_INSTRUCTIONS) -> CompiledTPP:
+    """Compile pseudo-assembly into a ready-to-send TPP.
+
+    Args:
+        source: the pseudo-assembly text.
+        num_hops: hops' worth of packet memory to preallocate.
+        mode: addressing mode; inferred when omitted (HOP if any instruction
+            uses explicit packet offsets, STACK for pure PUSH/POP programs).
+        word_bytes: wire width of each value (2 or 4).
+        app_id: application id stamped in the TPP header.
+        initial_values: packet-memory words to prefill (hop-addressed
+            programs that carry operands, e.g. RCP*'s phase-3 update).
+        expand_stack: rewrite PUSH/POP into hop-addressed LOAD/STORE, the
+            transformation a distributed TCPU applies (§3.5).
+        max_instructions: per-TPP instruction limit (default: the paper's 5).
+    """
+    instructions = parse_program(source)
+    if not instructions:
+        raise AssemblyError("program contains no instructions")
+
+    uses_stack = any(i.opcode in (Opcode.PUSH, Opcode.POP) for i in instructions)
+    uses_hop = any(i.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.CSTORE, Opcode.CEXEC)
+                   for i in instructions)
+
+    if expand_stack and uses_stack:
+        instructions, values_per_hop = expand_stack_program(instructions)
+        uses_stack, uses_hop = False, True
+    else:
+        values_per_hop = _values_per_hop(instructions)
+
+    if mode is None:
+        mode = AddressingMode.HOP if uses_hop and not uses_stack else AddressingMode.STACK
+    if mode is AddressingMode.STACK and uses_hop and uses_stack:
+        # Mixed programs are legal; stack addressing still advances SP while
+        # explicit offsets index absolute words.  The paper's examples never
+        # mix the two, but nothing in the format forbids it.
+        pass
+
+    tpp = make_tpp(instructions, num_hops=num_hops, mode=mode, word_bytes=word_bytes,
+                   app_id=app_id, values_per_hop=values_per_hop,
+                   initial_values=initial_values, max_instructions=max_instructions)
+    return CompiledTPP(tpp=tpp, source=source, values_per_hop=values_per_hop)
+
+
+def _values_per_hop(instructions: list[Instruction]) -> int:
+    """How many packet-memory words one hop's execution touches."""
+    pushes = sum(1 for i in instructions if i.opcode in (Opcode.PUSH, Opcode.POP))
+    max_offset = 0
+    for instruction in instructions:
+        if instruction.opcode in (Opcode.LOAD, Opcode.STORE):
+            max_offset = max(max_offset, instruction.packet_offset + 1)
+        elif instruction.opcode in (Opcode.CSTORE, Opcode.CEXEC):
+            max_offset = max(max_offset, instruction.packet_offset + 2)
+    return max(pushes, max_offset, 1)
+
+
+# Convenience wrappers used across the applications -------------------------
+def collector_tpp(statistics: Iterable[str], *, num_hops: int = 10, app_id: int = 0,
+                  word_bytes: int = DEFAULT_WORD_BYTES) -> CompiledTPP:
+    """Build the common "PUSH a list of statistics at every hop" TPP."""
+    source = "\n".join(f"PUSH [{stat.strip('[]')}]" for stat in statistics)
+    return compile_tpp(source, num_hops=num_hops, app_id=app_id, word_bytes=word_bytes)

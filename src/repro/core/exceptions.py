@@ -1,0 +1,37 @@
+"""Error hierarchy for the TPP core."""
+
+from __future__ import annotations
+
+
+class TPPError(Exception):
+    """Base class for all TPP-related errors."""
+
+
+class AssemblyError(TPPError):
+    """Raised when TPP pseudo-assembly cannot be parsed or assembled."""
+
+
+class AddressError(TPPError):
+    """Raised for unknown mnemonics or malformed virtual addresses."""
+
+
+class EncodingError(TPPError):
+    """Raised when a TPP cannot be encoded into, or decoded from, bytes."""
+
+
+class ExecutionError(TPPError):
+    """Raised on contract violations during TCPU execution.
+
+    Note that *graceful* failures (an instruction addressing memory that does
+    not exist on the current switch) are not errors — per §3.3 the instruction
+    is simply skipped.  ExecutionError signals misuse of the execution engine
+    itself (e.g. malformed instruction streams).
+    """
+
+
+class AccessControlError(TPPError):
+    """Raised when a TPP violates the access-control policy (§4.1/§4.3)."""
+
+
+class CapacityError(TPPError):
+    """Raised when a TPP exceeds size limits (instruction count, MTU, memory)."""

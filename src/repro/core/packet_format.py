@@ -1,0 +1,308 @@
+"""TPP wire format: header, instruction stream, and packet memory (§3.4).
+
+Layout (all integers big endian)::
+
+    +----------------------+------------------------+---------------------+
+    | header (12 bytes)    | instructions (4 B each)| packet memory       |
+    +----------------------+------------------------+---------------------+
+
+Header fields::
+
+    byte  0      version (high nibble) | addressing mode (bit 3..2) | word-size code (bits 1..0)
+    byte  1      instruction count
+    bytes 2-3    packet-memory length in bytes
+    byte  4      hop number (incremented by every TPP-capable switch)
+    byte  5      stack pointer (byte offset into packet memory)
+    byte  6      per-hop memory length in bytes (hop addressing only)
+    byte  7      encapsulated protocol code (0 = none, 1 = Ethernet, 2 = IPv4)
+    bytes 8-9    checksum over instructions + packet memory
+    bytes 10-11  application id
+
+The paper's Figure 7b sketches slightly different field widths (e.g. a 4-byte
+application id); we keep the total at 12 bytes because that is the number the
+paper's own overhead arithmetic uses (§2.1: 12 B header + 12 B instructions +
+6 B/hop × 5 hops = 54 B).  The deviation is documented in DESIGN.md.
+
+Packet memory is preallocated by the end-host and never grows or shrinks
+inside the network (Figure 1a); switches only overwrite words in place and
+advance the stack pointer / hop number.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .exceptions import CapacityError, EncodingError
+from .isa import INSTRUCTION_BYTES, Instruction, MAX_INSTRUCTIONS, decode_program, encode_program
+
+TPP_HEADER_BYTES = 12
+#: Default per-value width on the wire; the paper's examples use 16-bit values.
+DEFAULT_WORD_BYTES = 2
+#: Maximum packet memory Figure 7b allows (40–200 bytes).
+MAX_PACKET_MEMORY_BYTES = 200
+#: Conservative MTU bound used when validating TPP size (§3.3).
+DEFAULT_MTU = 1500
+
+
+class AddressingMode(enum.IntEnum):
+    """How packet memory is addressed by LOAD/STORE/CSTORE/CEXEC operands."""
+
+    STACK = 0   # PUSH/POP against the stack pointer
+    HOP = 1     # base:offset -> hop_number * hop_size + offset * word_size
+
+
+class EncapProtocol(enum.IntEnum):
+    """What the TPP encapsulates (field 7 in the header)."""
+
+    NONE = 0
+    ETHERNET = 1
+    IPV4 = 2
+
+
+_WORD_CODE = {2: 0, 4: 1}
+_CODE_WORD = {0: 2, 1: 4}
+
+
+def checksum16(data: bytes) -> int:
+    """16-bit ones'-complement-style checksum used in the TPP header."""
+    total = 0
+    padded = data if len(data) % 2 == 0 else data + b"\x00"
+    for i in range(0, len(padded), 2):
+        total += (padded[i] << 8) | padded[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass
+class TPP:
+    """A tiny packet program: instructions plus scratch packet memory."""
+
+    instructions: list[Instruction]
+    memory: bytearray
+    mode: AddressingMode = AddressingMode.STACK
+    word_bytes: int = DEFAULT_WORD_BYTES
+    hop_number: int = 0
+    stack_pointer: int = 0
+    hop_size: int = 0
+    app_id: int = 0
+    encap_proto: EncapProtocol = EncapProtocol.NONE
+    version: int = 1
+    #: Execution bookkeeping (not on the wire): switches that refused to run
+    #: the TPP (write instructions disabled, ACL failure) set this.
+    execution_halted: bool = field(default=False, compare=False)
+    max_instructions: int = field(default=MAX_INSTRUCTIONS, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.word_bytes not in _WORD_CODE:
+            raise EncodingError(f"word size must be 2 or 4 bytes, got {self.word_bytes}")
+        if len(self.instructions) > self.max_instructions:
+            raise CapacityError(
+                f"a TPP may carry at most {self.max_instructions} instructions "
+                f"(got {len(self.instructions)}); split the task into multiple TPPs (§3.3)")
+        if len(self.memory) > MAX_PACKET_MEMORY_BYTES:
+            raise CapacityError(
+                f"packet memory is limited to {MAX_PACKET_MEMORY_BYTES} bytes, "
+                f"got {len(self.memory)}")
+        if self.mode is AddressingMode.HOP and self.hop_size <= 0:
+            raise EncodingError("hop addressing requires a positive per-hop memory length")
+        if self.wire_length() > DEFAULT_MTU:
+            raise CapacityError("TPP does not fit within one MTU (§3.3)")
+
+    # ------------------------------------------------------------------ sizes
+    def wire_length(self) -> int:
+        """Total bytes this TPP occupies on the wire."""
+        return TPP_HEADER_BYTES + INSTRUCTION_BYTES * len(self.instructions) + len(self.memory)
+
+    @property
+    def num_hops_capacity(self) -> int:
+        """How many hops' worth of results the packet memory can hold."""
+        if self.mode is AddressingMode.HOP:
+            return len(self.memory) // self.hop_size if self.hop_size else 0
+        per_hop = sum(1 for i in self.instructions if i.writes_packet) * self.word_bytes
+        return len(self.memory) // per_hop if per_hop else 0
+
+    # ------------------------------------------------------------ word access
+    def _check_range(self, byte_offset: int) -> bool:
+        return 0 <= byte_offset and byte_offset + self.word_bytes <= len(self.memory)
+
+    def read_word_bytes(self, byte_offset: int) -> Optional[int]:
+        """Read the word at ``byte_offset``; None when out of range."""
+        if not self._check_range(byte_offset):
+            return None
+        return int.from_bytes(self.memory[byte_offset:byte_offset + self.word_bytes], "big")
+
+    def write_word_bytes(self, byte_offset: int, value: int) -> bool:
+        """Write ``value`` (truncated to the word size) at ``byte_offset``."""
+        if not self._check_range(byte_offset):
+            return False
+        mask = (1 << (8 * self.word_bytes)) - 1
+        self.memory[byte_offset:byte_offset + self.word_bytes] = \
+            int(value & mask).to_bytes(self.word_bytes, "big")
+        return True
+
+    def hop_byte_offset(self, word_offset: int, hop: Optional[int] = None) -> int:
+        """Byte offset of ``Packet:Hop[word_offset]`` for the given (or current) hop."""
+        base = self.hop_number if hop is None else hop
+        if self.mode is AddressingMode.HOP:
+            return base * self.hop_size + word_offset * self.word_bytes
+        return word_offset * self.word_bytes
+
+    def read_hop_word(self, word_offset: int, hop: Optional[int] = None) -> Optional[int]:
+        return self.read_word_bytes(self.hop_byte_offset(word_offset, hop))
+
+    def write_hop_word(self, word_offset: int, value: int, hop: Optional[int] = None) -> bool:
+        return self.write_word_bytes(self.hop_byte_offset(word_offset, hop), value)
+
+    def push(self, value: int) -> bool:
+        """Append a word at the stack pointer; False if memory is exhausted."""
+        if not self.write_word_bytes(self.stack_pointer, value):
+            return False
+        self.stack_pointer += self.word_bytes
+        return True
+
+    def pop(self) -> Optional[int]:
+        """Consume and return the word at the stack pointer."""
+        value = self.read_word_bytes(self.stack_pointer)
+        if value is None:
+            return None
+        self.stack_pointer += self.word_bytes
+        return value
+
+    def advance_hop(self) -> None:
+        """Increment the hop number (each TPP-capable switch does this once)."""
+        self.hop_number += 1
+
+    # ------------------------------------------------------------ extraction
+    def pushed_words(self) -> list[int]:
+        """All words written via PUSH so far (stack mode), in push order."""
+        return [int.from_bytes(self.memory[i:i + self.word_bytes], "big")
+                for i in range(0, self.stack_pointer, self.word_bytes)]
+
+    def words_by_hop(self, values_per_hop: int) -> list[list[int]]:
+        """Group the pushed/loaded words into per-hop records.
+
+        For stack-mode TPPs this slices the pushed words into groups of
+        ``values_per_hop``; for hop-mode TPPs it slices packet memory by the
+        per-hop memory length.
+        """
+        if values_per_hop <= 0:
+            raise ValueError("values_per_hop must be positive")
+        if self.mode is AddressingMode.STACK:
+            words = self.pushed_words()
+            return [words[i:i + values_per_hop]
+                    for i in range(0, len(words), values_per_hop)]
+        hops = []
+        for hop in range(self.hop_number):
+            hops.append([self.read_hop_word(offset, hop) or 0
+                         for offset in range(values_per_hop)])
+        return hops
+
+    def all_words(self) -> list[int]:
+        """Every word in packet memory, in order."""
+        return [int.from_bytes(self.memory[i:i + self.word_bytes], "big")
+                for i in range(0, len(self.memory) - self.word_bytes + 1, self.word_bytes)]
+
+    # --------------------------------------------------------------- encoding
+    def encode(self) -> bytes:
+        """Serialise the TPP (header + instructions + packet memory)."""
+        body = encode_program(self.instructions) + bytes(self.memory)
+        check = checksum16(body)
+        byte0 = ((self.version & 0xF) << 4) | ((int(self.mode) & 0x3) << 2) | _WORD_CODE[self.word_bytes]
+        header = bytes((
+            byte0,
+            len(self.instructions),
+            (len(self.memory) >> 8) & 0xFF, len(self.memory) & 0xFF,
+            self.hop_number & 0xFF,
+            self.stack_pointer & 0xFF,
+            self.hop_size & 0xFF,
+            int(self.encap_proto) & 0xFF,
+            (check >> 8) & 0xFF, check & 0xFF,
+            (self.app_id >> 8) & 0xFF, self.app_id & 0xFF,
+        ))
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "TPP":
+        """Parse a TPP from bytes produced by :meth:`encode`."""
+        if len(data) < TPP_HEADER_BYTES:
+            raise EncodingError(f"TPP needs at least {TPP_HEADER_BYTES} header bytes, got {len(data)}")
+        byte0 = data[0]
+        version = byte0 >> 4
+        mode = AddressingMode((byte0 >> 2) & 0x3)
+        word_bytes = _CODE_WORD.get(byte0 & 0x3)
+        if word_bytes is None:
+            raise EncodingError(f"unknown word-size code {byte0 & 0x3}")
+        n_instr = data[1]
+        mem_len = (data[2] << 8) | data[3]
+        hop_number = data[4]
+        stack_pointer = data[5]
+        hop_size = data[6]
+        encap = EncapProtocol(data[7])
+        check = (data[8] << 8) | data[9]
+        app_id = (data[10] << 8) | data[11]
+        body_start = TPP_HEADER_BYTES
+        body_end = body_start + n_instr * INSTRUCTION_BYTES + mem_len
+        if len(data) < body_end:
+            raise EncodingError("TPP truncated: body shorter than the header claims")
+        body = data[body_start:body_end]
+        if verify_checksum and checksum16(body) != check:
+            raise EncodingError("TPP checksum mismatch")
+        instructions = decode_program(body[:n_instr * INSTRUCTION_BYTES])
+        memory = bytearray(body[n_instr * INSTRUCTION_BYTES:])
+        return cls(instructions=instructions, memory=memory, mode=mode,
+                   word_bytes=word_bytes, hop_number=hop_number,
+                   stack_pointer=stack_pointer, hop_size=hop_size, app_id=app_id,
+                   encap_proto=encap, version=version)
+
+    def clone(self) -> "TPP":
+        """Deep copy (used when the shim stamps the same template on many packets)."""
+        return TPP(instructions=list(self.instructions), memory=bytearray(self.memory),
+                   mode=self.mode, word_bytes=self.word_bytes, hop_number=self.hop_number,
+                   stack_pointer=self.stack_pointer, hop_size=self.hop_size,
+                   app_id=self.app_id, encap_proto=self.encap_proto, version=self.version,
+                   max_instructions=self.max_instructions)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        instrs = "; ".join(str(i) for i in self.instructions)
+        return (f"TPP(app={self.app_id}, hop={self.hop_number}, sp={self.stack_pointer}, "
+                f"mem={len(self.memory)}B, [{instrs}])")
+
+
+def make_tpp(instructions: Iterable[Instruction], num_hops: int = 10,
+             mode: AddressingMode = AddressingMode.STACK,
+             word_bytes: int = DEFAULT_WORD_BYTES, app_id: int = 0,
+             values_per_hop: Optional[int] = None,
+             initial_values: Optional[Iterable[int]] = None,
+             max_instructions: int = MAX_INSTRUCTIONS) -> TPP:
+    """Build a TPP with packet memory preallocated for ``num_hops`` hops.
+
+    Args:
+        instructions: the program.
+        num_hops: how many hops' worth of results to preallocate space for.
+        mode: stack or hop addressing.
+        word_bytes: 2 or 4 bytes per value on the wire.
+        app_id: TPP application id (assigned by the TPP control plane).
+        values_per_hop: words written per hop; defaults to the number of
+            packet-writing instructions in the program.
+        initial_values: optional words to prefill packet memory with (used by
+            write-style TPPs such as RCP*'s phase-3 update).
+        max_instructions: override of the per-TPP instruction limit.
+    """
+    instruction_list = list(instructions)
+    if values_per_hop is None:
+        values_per_hop = max(1, sum(1 for i in instruction_list if i.writes_packet))
+    per_hop_bytes = values_per_hop * word_bytes
+    memory = bytearray(per_hop_bytes * num_hops)
+    if initial_values is not None:
+        offset = 0
+        mask = (1 << (8 * word_bytes)) - 1
+        for value in initial_values:
+            if offset + word_bytes > len(memory):
+                raise CapacityError("initial values exceed preallocated packet memory")
+            memory[offset:offset + word_bytes] = int(value & mask).to_bytes(word_bytes, "big")
+            offset += word_bytes
+    return TPP(instructions=instruction_list, memory=memory, mode=mode,
+               word_bytes=word_bytes, hop_size=per_hop_bytes if mode is AddressingMode.HOP else 0,
+               app_id=app_id, max_instructions=max_instructions)

@@ -1,0 +1,242 @@
+"""The TCPU: the execution engine for TPP instructions (§3.3, §3.5).
+
+The TCPU is deliberately independent of any concrete switch implementation —
+it only talks to a :class:`MemoryInterface`, which resolves 16-bit virtual
+addresses against whatever state the switch holds, given the per-packet
+:class:`PacketContext`.  This mirrors the paper's split between a logical
+TCPU and the per-stage execution units that actually carry out loads and
+stores wherever the operand lives.
+
+Semantics implemented here (per §3.2/§3.3):
+
+* reads observe *post-forwarding* values — the switch builds the
+  PacketContext only after its forwarding decision, so a TPP reading
+  ``[PacketMetadata:OutputPort]`` sees exactly the port the packet leaves on;
+* packet-memory writes take effect in TPP order (we execute sequentially);
+* instructions that address memory that does not exist on this switch are
+  skipped — the TPP "fails gracefully" and keeps being forwarded;
+* a failed ``CSTORE`` or ``CEXEC`` halts all subsequent instructions at this
+  hop (and, for CSTORE, writes the observed value back into packet memory so
+  the end-host can detect the failure);
+* write instructions can be disabled wholesale by the administrator (§4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from .isa import Instruction, Opcode
+from .packet_format import TPP
+
+
+@dataclass
+class PacketContext:
+    """Per-packet metadata available to a TPP at execution time (Tables 7/8)."""
+
+    input_port: int = 0
+    output_port: int = 0
+    output_queue: int = 0
+    matched_entry_id: int = 0
+    matched_entry_version: int = 0
+    matched_stage: int = 0
+    hop_number: int = 0
+    path_id: int = 0
+    packet_length: int = 0
+    arrival_time: float = 0.0
+
+    def metadata_word(self, field_offset: int) -> Optional[int]:
+        """Resolve a ``PacketMetadata:`` field offset to its value."""
+        values = {
+            0: self.input_port,
+            1: self.output_port,
+            2: self.output_queue,
+            3: self.matched_entry_id,
+            4: self.matched_entry_version,
+            5: self.matched_stage,
+            6: self.hop_number,
+            7: self.path_id,
+            8: self.packet_length,
+            9: int(self.arrival_time * 1e6) & 0xFFFFFFFF,  # microsecond timestamp
+        }
+        return values.get(field_offset)
+
+
+class MemoryInterface(Protocol):
+    """What the TCPU needs from a switch to execute instructions."""
+
+    def read(self, address: int, context: PacketContext) -> Optional[int]:
+        """Return the word at ``address`` or None when it does not exist."""
+        ...
+
+    def write(self, address: int, value: int, context: PacketContext) -> bool:
+        """Write ``value`` at ``address``; False when the address is absent or read-only."""
+        ...
+
+
+class InstructionStatus(enum.Enum):
+    """Per-instruction outcome recorded in the execution trace."""
+
+    EXECUTED = "executed"
+    SKIPPED_NO_MEMORY = "skipped_no_memory"
+    SKIPPED_HALTED = "skipped_halted"
+    SKIPPED_WRITE_DISABLED = "skipped_write_disabled"
+    FAILED_CONDITION = "failed_condition"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one TPP at one hop."""
+
+    statuses: list[InstructionStatus] = field(default_factory=list)
+    halted: bool = False
+    wrote_switch_memory: bool = False
+    switch_reads: int = 0
+    switch_writes: int = 0
+
+    @property
+    def executed_count(self) -> int:
+        return sum(1 for status in self.statuses
+                   if status in (InstructionStatus.EXECUTED, InstructionStatus.FAILED_CONDITION))
+
+    def __bool__(self) -> bool:
+        return not self.halted
+
+
+class TCPU:
+    """Executes TPPs against a :class:`MemoryInterface`.
+
+    Args:
+        write_enabled: when False, all switch-memory writes (STORE, POP,
+            CSTORE's store half) are suppressed — the administrator knob of
+            §4.3.  Reads still execute.
+    """
+
+    def __init__(self, write_enabled: bool = True) -> None:
+        self.write_enabled = write_enabled
+        self.tpps_executed = 0
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------ main
+    def execute(self, tpp: TPP, memory: MemoryInterface,
+                context: PacketContext) -> ExecutionResult:
+        """Execute every instruction of ``tpp`` once (one hop's worth)."""
+        result = ExecutionResult()
+        halted = False
+        word_mask = (1 << (8 * tpp.word_bytes)) - 1
+
+        for instruction in tpp.instructions:
+            if halted:
+                result.statuses.append(InstructionStatus.SKIPPED_HALTED)
+                continue
+            status = self._execute_one(instruction, tpp, memory, context, result, word_mask)
+            result.statuses.append(status)
+            if status is InstructionStatus.FAILED_CONDITION:
+                halted = True
+
+        result.halted = halted
+        self.tpps_executed += 1
+        self.instructions_executed += result.executed_count
+        return result
+
+    # ----------------------------------------------------------- per opcode
+    def _execute_one(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                     context: PacketContext, result: ExecutionResult,
+                     word_mask: int) -> InstructionStatus:
+        opcode = instruction.opcode
+
+        if opcode is Opcode.NOP:
+            return InstructionStatus.EXECUTED
+
+        if opcode is Opcode.PUSH:
+            value = memory.read(instruction.address, context)
+            result.switch_reads += 1
+            if value is None:
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            if not tpp.push(value):
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            return InstructionStatus.EXECUTED
+
+        if opcode is Opcode.POP:
+            if not self.write_enabled:
+                return InstructionStatus.SKIPPED_WRITE_DISABLED
+            value = tpp.pop()
+            if value is None:
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            ok = memory.write(instruction.address, value, context)
+            result.switch_writes += 1
+            if not ok:
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            result.wrote_switch_memory = True
+            return InstructionStatus.EXECUTED
+
+        if opcode is Opcode.LOAD:
+            value = memory.read(instruction.address, context)
+            result.switch_reads += 1
+            if value is None:
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            if not tpp.write_hop_word(instruction.packet_offset, value):
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            return InstructionStatus.EXECUTED
+
+        if opcode is Opcode.STORE:
+            if not self.write_enabled:
+                return InstructionStatus.SKIPPED_WRITE_DISABLED
+            value = tpp.read_hop_word(instruction.packet_offset)
+            if value is None:
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            ok = memory.write(instruction.address, value, context)
+            result.switch_writes += 1
+            if not ok:
+                return InstructionStatus.SKIPPED_NO_MEMORY
+            result.wrote_switch_memory = True
+            return InstructionStatus.EXECUTED
+
+        if opcode is Opcode.CSTORE:
+            return self._execute_cstore(instruction, tpp, memory, context, result, word_mask)
+
+        if opcode is Opcode.CEXEC:
+            return self._execute_cexec(instruction, tpp, memory, context, result, word_mask)
+
+        return InstructionStatus.SKIPPED_NO_MEMORY  # pragma: no cover - exhaustive above
+
+    def _execute_cstore(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                        context: PacketContext, result: ExecutionResult,
+                        word_mask: int) -> InstructionStatus:
+        """CSTORE dst, old, new — compare-and-swap gating later instructions (§3.3.3)."""
+        current = memory.read(instruction.address, context)
+        result.switch_reads += 1
+        old = tpp.read_hop_word(instruction.packet_offset)
+        new = tpp.read_hop_word(instruction.packet_offset + 1)
+        if current is None or old is None or new is None:
+            return InstructionStatus.FAILED_CONDITION
+        succeeded = (current & word_mask) == (old & word_mask)
+        if succeeded:
+            if not self.write_enabled:
+                return InstructionStatus.SKIPPED_WRITE_DISABLED
+            if not memory.write(instruction.address, new, context):
+                return InstructionStatus.FAILED_CONDITION
+            result.switch_writes += 1
+            result.wrote_switch_memory = True
+            observed = new
+        else:
+            observed = current
+        # Always write the observed value of X back into the "old" slot so the
+        # end-host can tell whether the compare-and-swap succeeded.
+        tpp.write_hop_word(instruction.packet_offset, observed)
+        return InstructionStatus.EXECUTED if succeeded else InstructionStatus.FAILED_CONDITION
+
+    def _execute_cexec(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                       context: PacketContext, result: ExecutionResult,
+                       word_mask: int) -> InstructionStatus:
+        """CEXEC addr, [mask, value] — gate the rest of the TPP on a predicate."""
+        switch_value = memory.read(instruction.address, context)
+        result.switch_reads += 1
+        mask = tpp.read_hop_word(instruction.packet_offset)
+        value = tpp.read_hop_word(instruction.packet_offset + 1)
+        if switch_value is None or mask is None or value is None:
+            return InstructionStatus.FAILED_CONDITION
+        if (switch_value & mask & word_mask) == (value & word_mask):
+            return InstructionStatus.EXECUTED
+        return InstructionStatus.FAILED_CONDITION

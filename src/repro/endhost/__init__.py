@@ -1,0 +1,17 @@
+"""End-host stack: TPP control plane, dataplane shim, executor, deployment framework."""
+
+from .aggregator import (Aggregator, Collector, DeployedApplication, PiggybackApplication,
+                         deploy)
+from .control_plane import Application, ControlPlaneAgent, TPPControlPlane
+from .dataplane import AppBinding, DataplaneShim, TPP_ECHO_PORT
+from .executor import ExecutorStats, TPPExecutor
+from .filters import FilterEntry, FilterTable, PacketFilter, match_all
+from .stack import EndHostStack, install_stacks
+
+__all__ = [
+    "Aggregator", "AppBinding", "Application", "Collector", "ControlPlaneAgent",
+    "DataplaneShim", "DeployedApplication", "EndHostStack", "ExecutorStats",
+    "FilterEntry", "FilterTable", "PacketFilter", "PiggybackApplication",
+    "TPPControlPlane", "TPPExecutor", "TPP_ECHO_PORT", "deploy", "install_stacks",
+    "match_all",
+]

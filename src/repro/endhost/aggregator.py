@@ -1,0 +1,134 @@
+"""Deployment framework for piggy-backed TPP applications (§4.5).
+
+A piggy-backed application is described by four things the programmer
+specifies — a packet filter, a compiled TPP, a per-host aggregator, and a
+cluster-wide collector.  The provisioning agent here performs the steps the
+paper lists: allocate an application id, verify permissions by statically
+examining the TPP, spawn the aggregator on every participating host, install
+the ``add_tpp`` rule through each host's control-plane agent, and point the
+aggregators at the collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.compiler import CompiledTPP
+from repro.core.packet_format import TPP
+from repro.net.packet import Packet
+
+from .control_plane import Application, TPPControlPlane
+from .filters import PacketFilter
+
+
+class Collector:
+    """A cluster-wide service that receives summaries from per-host aggregators.
+
+    The paper load-balances collectors behind a virtual IP; a single logical
+    collector object suffices for the reproduction (the aggregation operators
+    used by the applications are commutative, so sharding does not change
+    results).
+    """
+
+    def __init__(self, name: str = "collector") -> None:
+        self.name = name
+        self.summaries: list[tuple[str, object]] = []
+
+    def submit(self, host_name: str, summary: object) -> None:
+        """Receive one summary from a host's aggregator."""
+        self.summaries.append((host_name, summary))
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+
+class Aggregator:
+    """Base class for per-host aggregators: receives completed TPPs.
+
+    Subclasses override :meth:`on_tpp` to do application-specific processing
+    and :meth:`summarize` to produce what gets pushed to the collector.
+    """
+
+    def __init__(self, host_name: str, collector: Optional[Collector] = None) -> None:
+        self.host_name = host_name
+        self.collector = collector
+        self.tpps_received = 0
+
+    def on_tpp(self, tpp: TPP, packet: Packet) -> None:
+        self.tpps_received += 1
+
+    def summarize(self) -> object:
+        return {"host": self.host_name, "tpps": self.tpps_received}
+
+    def push_summary(self) -> None:
+        if self.collector is not None:
+            self.collector.submit(self.host_name, self.summarize())
+
+
+AggregatorFactory = Callable[[str, Optional[Collector]], Aggregator]
+
+
+@dataclass
+class PiggybackApplication:
+    """The §4.5 application descriptor."""
+
+    name: str
+    packet_filter: PacketFilter
+    compiled_tpp: CompiledTPP
+    aggregator_factory: AggregatorFactory
+    collector: Optional[Collector] = None
+    sample_frequency: int = 1
+    priority: int = 0
+    echo_to_source: bool = False
+
+
+@dataclass
+class DeployedApplication:
+    """Handles returned by :func:`deploy`: one aggregator per participating host."""
+
+    application: Application
+    descriptor: PiggybackApplication
+    aggregators: dict[str, Aggregator] = field(default_factory=dict)
+
+    def push_all_summaries(self) -> None:
+        """Have every host's aggregator push its summary to the collector."""
+        for aggregator in self.aggregators.values():
+            aggregator.push_summary()
+
+
+def deploy(descriptor: PiggybackApplication, stacks: dict[str, "object"],
+           control_plane: TPPControlPlane,
+           sender_hosts: Optional[list[str]] = None,
+           receiver_hosts: Optional[list[str]] = None) -> DeployedApplication:
+    """Provision a piggy-backed application across a set of end-host stacks.
+
+    Args:
+        descriptor: what to deploy.
+        stacks: host name -> EndHostStack for every participating host.
+        control_plane: the central TPP-CP instance.
+        sender_hosts: hosts whose outgoing packets get the TPP attached
+            (defaults to all).
+        receiver_hosts: hosts that run an aggregator (defaults to all).
+    """
+    app = control_plane.register_application(descriptor.name)
+    deployed = DeployedApplication(application=app, descriptor=descriptor)
+
+    senders = sender_hosts if sender_hosts is not None else list(stacks)
+    receivers = receiver_hosts if receiver_hosts is not None else list(stacks)
+
+    for host_name in receivers:
+        stack = stacks[host_name]
+        aggregator = descriptor.aggregator_factory(host_name, descriptor.collector)
+        deployed.aggregators[host_name] = aggregator
+        stack.shim.bind_application(app.app_id, on_tpp=aggregator.on_tpp,
+                                    echo_to_source=descriptor.echo_to_source)
+
+    for host_name in senders:
+        stack = stacks[host_name]
+        stack.agent.add_tpp(app.app_id, descriptor.packet_filter,
+                            descriptor.compiled_tpp.clone_tpp(),
+                            sample_frequency=descriptor.sample_frequency,
+                            priority=descriptor.priority)
+
+    return deployed

@@ -1,0 +1,20 @@
+"""Feasibility models for §6: latency, die area, and end-host throughput."""
+
+from .area_model import (AreaReport, NETFPGA_TABLE4, NETFPGA_TABLE4_PAPER_PERCENT,
+                         ResourceCost, asic_tcpu_area_percent, build_area_report,
+                         netfpga_percent_extra)
+from .endhost_model import (EndHostCostModel, FIGURE10_PAPER_GBPS, MSS_BYTES, MTU_BYTES,
+                            TABLE5_PAPER_GBPS, TPP_PROBE_BYTES)
+from .latency_model import (ASIC, LatencyReport, NETFPGA, PlatformCosts,
+                            TABLE3_PAPER_CYCLES, build_latency_report,
+                            buffering_for_stall_bytes, packetization_latency_ns,
+                            relative_latency_increase, worst_case_tpp)
+
+__all__ = [
+    "ASIC", "AreaReport", "EndHostCostModel", "FIGURE10_PAPER_GBPS", "LatencyReport",
+    "MSS_BYTES", "MTU_BYTES", "NETFPGA", "NETFPGA_TABLE4", "NETFPGA_TABLE4_PAPER_PERCENT",
+    "PlatformCosts", "ResourceCost", "TABLE3_PAPER_CYCLES", "TABLE5_PAPER_GBPS",
+    "TPP_PROBE_BYTES", "asic_tcpu_area_percent", "build_area_report",
+    "build_latency_report", "buffering_for_stall_bytes", "netfpga_percent_extra",
+    "packetization_latency_ns", "relative_latency_increase", "worst_case_tpp",
+]

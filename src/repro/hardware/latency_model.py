@@ -1,0 +1,147 @@
+"""Hardware latency model (§6.1, Table 3).
+
+The paper's hardware evaluation is cycle accounting: how many cycles each
+step of TPP execution costs on the 160 MHz NetFPGA prototype versus a 1 GHz
+commercial ASIC, and what that means for packet latency.  The cycle costs are
+inputs (they come from synthesis runs and ASIC designers' estimates, not from
+measurements this reproduction could repeat), so the model's job is to
+combine them faithfully and derive the §6.1 headline numbers:
+
+* the worst-case extra latency a TPP adds — 50 ns on an ASIC when all five
+  instructions are CSTOREs (10 cycles each at 1 GHz),
+* the buffering needed to absorb that stall at 1 Tb/s aggregate — 6.25 kB,
+* the relative latency increase — 10–25 % of a 200–500 ns switch transit,
+* the ~50 ns packetisation latency of a 64 B packet at 10 Gb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.isa import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class PlatformCosts:
+    """Per-step cycle costs for one hardware platform (one Table 3 column)."""
+
+    name: str
+    clock_hz: float
+    parse_cycles: float
+    memory_access_cycles: float       # one switch-memory read or write (worst case)
+    cstore_cycles: float              # a CSTORE, including its memory accesses
+    other_execute_cycles: float       # non-memory execution cost of other opcodes
+    rewrite_cycles: float
+    pipeline_stages: int
+    baseline_per_stage_cycles: float  # the switch's existing per-stage latency
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e9 / self.clock_hz
+
+    # ------------------------------------------------------------ instruction
+    def instruction_cycles(self, instruction: Instruction) -> float:
+        """Worst-case cycles of stall one instruction can add to the pipeline."""
+        if instruction.opcode is Opcode.NOP:
+            return 0.0
+        if instruction.opcode is Opcode.CSTORE:
+            return self.cstore_cycles
+        accesses = (1 if instruction.reads_switch else 0) + (1 if instruction.writes_switch else 0)
+        return max(accesses, 1) * self.memory_access_cycles + self.other_execute_cycles
+
+    def tpp_added_latency_ns(self, instructions: Sequence[Instruction]) -> float:
+        """Worst-case latency a TPP adds end to end across the pipeline."""
+        cycles = sum(self.instruction_cycles(instr) for instr in instructions)
+        return cycles * self.cycle_ns
+
+    def tpp_added_per_stage_cycles(self, instructions: Sequence[Instruction]) -> float:
+        """The same stall expressed per stage (instructions spread over stages)."""
+        cycles = (self.parse_cycles + self.rewrite_cycles
+                  + sum(self.instruction_cycles(i) for i in instructions))
+        return cycles / self.pipeline_stages
+
+
+#: NetFPGA prototype: 160 MHz, single-port block RAM with 1-cycle access;
+#: parsing, execution and rewrite all complete within a cycle except CSTORE,
+#: which needs one extra (the measured per-stage total was exactly 2 cycles).
+NETFPGA = PlatformCosts(name="NetFPGA", clock_hz=160e6, parse_cycles=1.0,
+                        memory_access_cycles=1.0, cstore_cycles=2.0,
+                        other_execute_cycles=0.0, rewrite_cycles=1.0,
+                        pipeline_stages=4, baseline_per_stage_cycles=2.5)
+
+#: Commercial 1 GHz ASIC: 2–5 cycle single-port SRAM access (worst case 5),
+#: a 10-cycle CSTORE, and a 200–500 ns end-to-end transit over 4–5 stages
+#: (≈50–100 cycles per stage of existing latency).
+ASIC = PlatformCosts(name="ASIC", clock_hz=1e9, parse_cycles=1.0,
+                     memory_access_cycles=5.0, cstore_cycles=10.0,
+                     other_execute_cycles=0.0, rewrite_cycles=1.0,
+                     pipeline_stages=5, baseline_per_stage_cycles=75.0)
+
+
+#: Table 3 of the paper, as (NetFPGA, ASIC) pairs of per-step cycle costs.
+TABLE3_PAPER_CYCLES = {
+    "Parsing": (1.0, 1.0),
+    "Memory access": (1.0, 5.0),
+    "Instr. Exec.: CSTORE": (1.0, 10.0),
+    "Instr. Exec.: (the rest)": (1.0, 1.0),
+    "Packet rewrite": (1.0, 1.0),
+    "Total per-stage": (2.5, 75.0),
+}
+
+
+def worst_case_tpp(num_instructions: int = 5) -> list[Instruction]:
+    """The paper's worst case: every instruction is a CSTORE."""
+    return [Instruction(Opcode.CSTORE, address=0x1010, packet_offset=0)
+            for _ in range(num_instructions)]
+
+
+def packetization_latency_ns(packet_bytes: int = 64, line_rate_bps: float = 10e9) -> float:
+    """Serialisation latency of a packet at line rate (~51 ns for 64 B at 10 Gb/s)."""
+    return packet_bytes * 8.0 / line_rate_bps * 1e9
+
+
+def buffering_for_stall_bytes(stall_ns: float, aggregate_rate_bps: float = 1e12) -> float:
+    """Bytes of buffering that absorb a pipeline stall at the switch's aggregate rate.
+
+    The paper: a 50 ns worst-case stall at 1 Tb/s needs 6.25 kB for the whole
+    switch.
+    """
+    return stall_ns * 1e-9 * aggregate_rate_bps / 8.0
+
+
+def relative_latency_increase(added_ns: float,
+                              switch_latency_ns_range: tuple[float, float] = (200.0, 500.0)
+                              ) -> tuple[float, float]:
+    """Added latency relative to typical unloaded switch latency (10–25 % band)."""
+    low, high = switch_latency_ns_range
+    return (added_ns / high, added_ns / low)
+
+
+@dataclass
+class LatencyReport:
+    """The §6.1 headline numbers for one platform."""
+
+    platform: str
+    worst_case_added_ns: float
+    added_per_stage_cycles: float
+    baseline_per_stage_cycles: float
+    buffering_bytes_at_1tbps: float
+    relative_increase_range: tuple[float, float]
+    packetization_ns_64b_10g: float
+
+
+def build_latency_report(platform: PlatformCosts,
+                         instructions: Iterable[Instruction] | None = None) -> LatencyReport:
+    """Summarise the latency model for one platform."""
+    program = list(instructions) if instructions is not None else worst_case_tpp()
+    added = platform.tpp_added_latency_ns(program)
+    return LatencyReport(
+        platform=platform.name,
+        worst_case_added_ns=added,
+        added_per_stage_cycles=platform.tpp_added_per_stage_cycles(program),
+        baseline_per_stage_cycles=platform.baseline_per_stage_cycles,
+        buffering_bytes_at_1tbps=buffering_for_stall_bytes(added),
+        relative_increase_range=relative_latency_increase(added),
+        packetization_ns_64b_10g=packetization_latency_ns(),
+    )

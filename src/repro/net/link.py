@@ -1,0 +1,69 @@
+"""Full-duplex point-to-point links.
+
+A :class:`Link` joins two :class:`~repro.net.port.Port` objects.  The link
+itself only stores capacity, propagation delay and aggregate counters; the
+transmission state machines live in the ports (one per direction), which is
+what makes the link full duplex.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .packet import Packet
+    from .port import Port
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return value * 1e9
+
+
+class Link:
+    """A full-duplex link between two ports."""
+
+    def __init__(self, port_a: "Port", port_b: "Port", rate_bps: float,
+                 delay_s: float = 10e-6, name: str = "") -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_s < 0:
+            raise ValueError("link delay cannot be negative")
+        self.port_a = port_a
+        self.port_b = port_b
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.up = True
+        self.name = name or f"{port_a.name}<->{port_b.name}"
+        self.total_bytes = 0
+        self.total_packets = 0
+        port_a.attach(self, port_b)
+        port_b.attach(self, port_a)
+
+    def on_transmit(self, packet: "Packet", from_port: "Port") -> None:
+        """Account for a packet serialised onto the link (either direction)."""
+        self.total_bytes += packet.size
+        self.total_packets += 1
+
+    def set_down(self) -> None:
+        """Fail the link; packets sent over it are dropped."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def other_end(self, port: "Port") -> "Port":
+        """The port at the opposite end of ``port``."""
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError(f"port {port.name} is not an endpoint of link {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.rate_bps/1e6:.0f}Mb/s {self.delay_s*1e6:.0f}us>"

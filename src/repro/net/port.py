@@ -1,0 +1,184 @@
+"""Ports and egress queues.
+
+Each :class:`Port` models one full-duplex interface on a node.  Transmission
+follows the usual store-and-forward state machine: packets are placed in a
+drop-tail egress queue; when the transmitter is idle the head packet is
+serialised onto the attached link (``size * 8 / rate`` seconds) and then
+propagated to the peer port (link propagation delay).
+
+The egress queue keeps the occupancy and drop accounting the paper's TPPs
+read ([Queue:QueueOccupancy], [Link:QueueSize], drop stats, …).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .link import Link
+    from .node import Node
+    from .sim import Simulator
+
+
+class EgressQueue:
+    """Drop-tail FIFO with byte/packet occupancy and drop accounting."""
+
+    def __init__(self, capacity_bytes: int = 512 * 1024,
+                 capacity_packets: Optional[int] = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.capacity_packets = capacity_packets
+        self._queue: deque[Packet] = deque()
+        self.bytes_enqueued_total = 0
+        self.packets_enqueued_total = 0
+        self.bytes_dropped_total = 0
+        self.packets_dropped_total = 0
+        self.bytes_dequeued_total = 0
+        self.packets_dequeued_total = 0
+        self._occupancy_bytes = 0
+
+    # ------------------------------------------------------------- occupancy
+    @property
+    def occupancy_bytes(self) -> int:
+        """Bytes currently waiting in the queue."""
+        return self._occupancy_bytes
+
+    @property
+    def occupancy_packets(self) -> int:
+        """Packets currently waiting in the queue."""
+        return len(self._queue)
+
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    # ------------------------------------------------------------ operations
+    def enqueue(self, packet: Packet) -> bool:
+        """Append a packet; returns False (and counts a drop) when full."""
+        over_bytes = self._occupancy_bytes + packet.size > self.capacity_bytes
+        over_packets = (self.capacity_packets is not None
+                        and len(self._queue) >= self.capacity_packets)
+        if over_bytes or over_packets:
+            self.bytes_dropped_total += packet.size
+            self.packets_dropped_total += 1
+            return False
+        self._queue.append(packet)
+        self._occupancy_bytes += packet.size
+        self.bytes_enqueued_total += packet.size
+        self.packets_enqueued_total += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._occupancy_bytes -= packet.size
+        self.bytes_dequeued_total += packet.size
+        self.packets_dequeued_total += 1
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class Port:
+    """One interface of a node, with an egress queue and a transmitter."""
+
+    def __init__(self, node: "Node", index: int,
+                 queue_capacity_bytes: int = 512 * 1024,
+                 queue_capacity_packets: Optional[int] = None) -> None:
+        self.node = node
+        self.index = index
+        self.link: Optional["Link"] = None
+        self.peer: Optional["Port"] = None
+        self.queue = EgressQueue(queue_capacity_bytes, queue_capacity_packets)
+        self.transmitting = False
+        self.up = True
+        # Raw counters (the switch statistics layer derives rates from these).
+        self.tx_bytes = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.rx_packets = 0
+        self.error_packets = 0
+
+    # -------------------------------------------------------------- identity
+    @property
+    def name(self) -> str:
+        return f"{self.node.name}.p{self.index}"
+
+    @property
+    def sim(self) -> "Simulator":
+        return self.node.sim
+
+    @property
+    def rate_bps(self) -> float:
+        if self.link is None:
+            raise RuntimeError(f"port {self.name} is not attached to a link")
+        return self.link.rate_bps
+
+    def attach(self, link: "Link", peer: "Port") -> None:
+        self.link = link
+        self.peer = peer
+
+    # ------------------------------------------------------------ transmit path
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a packet for transmission out of this port.
+
+        Returns False when the packet was dropped (queue overflow or link
+        down); the caller is responsible for any loss handling.
+        """
+        if self.link is None or self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        if not self.up or not self.link.up:
+            packet.dropped = True
+            packet.drop_reason = f"link down at {self.name}"
+            self.queue.packets_dropped_total += 1
+            self.queue.bytes_dropped_total += packet.size
+            return False
+        accepted = self.queue.enqueue(packet)
+        if not accepted:
+            packet.dropped = True
+            packet.drop_reason = f"queue overflow at {self.name}"
+            self.node.on_packet_dropped(packet, self)
+            return False
+        packet.enqueue_times.append(self.sim.now)
+        if not self.transmitting:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self.transmitting = False
+            return
+        self.transmitting = True
+        tx_time = packet.transmission_time(self.link.rate_bps)
+        self.sim.schedule(tx_time, self._finish_transmission, packet,
+                          name=f"tx@{self.name}")
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.tx_bytes += packet.size
+        self.tx_packets += 1
+        self.link.on_transmit(packet, self)
+        # Propagate to the peer after the link delay.
+        self.sim.schedule(self.link.delay_s, self._deliver_to_peer, packet,
+                          name=f"prop@{self.name}")
+        # Immediately begin the next packet, if any.
+        self._start_transmission()
+
+    def _deliver_to_peer(self, packet: Packet) -> None:
+        peer = self.peer
+        if peer is None or not peer.up:
+            packet.dropped = True
+            packet.drop_reason = "peer port down"
+            return
+        peer.rx_bytes += packet.size
+        peer.rx_packets += 1
+        peer.node.receive(packet, peer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name} q={self.queue.occupancy_packets}pkts>"

@@ -1,0 +1,206 @@
+"""Discrete-event simulation engine.
+
+Every other substrate in this reproduction (links, switches, hosts,
+applications) is driven by a single :class:`Simulator` instance.  The engine
+is a classic event-heap design:
+
+* time is a ``float`` number of seconds,
+* events are ``(time, sequence, Event)`` tuples on a binary heap, so events
+  scheduled for the same instant fire in FIFO order,
+* callbacks are plain callables; periodic processes are built on top with
+  :meth:`Simulator.schedule_periodic`.
+
+The simulator is deliberately synchronous and single-threaded: determinism is
+a design requirement because the reproduced experiments (queue occupancy time
+series, fairness convergence) are compared against the paper's figures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events support cancellation: a cancelled event stays in the heap but is
+    skipped when popped.  This keeps scheduling O(log n) without requiring
+    heap surgery.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "name")
+
+    def __init__(self, time: float, callback: Callable, args: tuple, name: str = ""):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name or getattr(callback, "__name__", "event")
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when its time comes."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.name} t={self.time:.9f} {state}>"
+
+
+class PeriodicProcess:
+    """A recurring callback created by :meth:`Simulator.schedule_periodic`."""
+
+    __slots__ = ("sim", "interval", "callback", "args", "_event", "stopped", "jitter_fn")
+
+    def __init__(self, sim: "Simulator", interval: float, callback: Callable,
+                 args: tuple = (), jitter_fn: Optional[Callable[[], float]] = None):
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.stopped = False
+        self.jitter_fn = jitter_fn
+        self._event = sim.schedule(self._next_delay(), self._fire)
+
+    def _next_delay(self) -> float:
+        if self.jitter_fn is None:
+            return self.interval
+        return max(0.0, self.interval + self.jitter_fn())
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self.callback(*self.args)
+        if not self.stopped:
+            self._event = self.sim.schedule(self._next_delay(), self._fire)
+
+    def stop(self) -> None:
+        """Stop the process; the pending occurrence is cancelled."""
+        self.stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1e-3, lambda: print("one millisecond in"))
+        sim.run(until=0.01)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (useful for benchmarks)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, callback: Callable, *args, name: str = "") -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        return self.schedule_at(self._now + delay, callback, *args, name=name)
+
+    def schedule_at(self, when: float, callback: Callable, *args, name: str = "") -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} which is before now={self._now}")
+        event = Event(when, callback, args, name=name)
+        heapq.heappush(self._heap, _HeapEntry(when, next(self._seq), event))
+        return event
+
+    def schedule_periodic(self, interval: float, callback: Callable, *args,
+                          jitter_fn: Optional[Callable[[], float]] = None) -> PeriodicProcess:
+        """Run ``callback(*args)`` every ``interval`` seconds until stopped."""
+        return PeriodicProcess(self, interval, callback, args, jitter_fn=jitter_fn)
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns False when idle."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now = entry.time
+            event.callback(*event.args)
+            self._events_executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in time order.
+
+        Args:
+            until: stop once simulation time would exceed this value; the
+                simulator clock is advanced to ``until`` on return.
+            max_events: safety valve; stop after executing this many events.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                # Peek for the time limit before popping.
+                next_time = self._heap[0].time
+                if until is not None and next_time > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain (bounded by ``max_events``)."""
+        self.run(max_events=max_events)
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._events_executed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator t={self._now:.6f}s pending={self.pending_events} "
+                f"executed={self._events_executed}>")

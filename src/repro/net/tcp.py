@@ -1,0 +1,226 @@
+"""A compact TCP (Reno-flavoured AIMD) model.
+
+The paper uses TCP twice: as the congestion-control baseline whose overhead
+RCP* is compared against (§2.2 "Overheads"), and as the traffic source for
+the end-host dataplane throughput microbenchmark (Figure 10).  This model
+implements the pieces those comparisons need:
+
+* window-based transmission with ack clocking,
+* slow start / congestion avoidance, fast retransmit on three duplicate
+  acks, and a coarse retransmission timeout,
+* per-flow accounting of data and acknowledgement bytes so header/ack
+  overhead can be measured directly.
+
+It is intentionally simple — no SACK, no delayed acks, no Nagle — because the
+reproduced results only depend on AIMD dynamics and on the ratio of control
+bytes to data bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .node import Host
+from .packet import tcp_packet
+from .sim import Simulator
+
+ACK_PAYLOAD_BYTES = 0          # a pure ack carries no payload
+DEFAULT_MSS = 1240             # the paper's Figure 10 setup (1500 MTU, 1240 MSS)
+
+
+@dataclass
+class TcpStats:
+    """Per-connection accounting used by the overhead experiments."""
+
+    data_packets_sent: int = 0
+    data_bytes_sent: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    ack_bytes_sent: int = 0
+    acks_received: int = 0
+    packets_delivered: int = 0
+    bytes_delivered: int = 0
+    completed_at: Optional[float] = None
+
+
+class TcpReceiver:
+    """Receiving side: delivers in-order data and returns cumulative acks.
+
+    Acks are delayed (one ack per ``ack_every`` in-order segments), matching
+    common stacks; out-of-order arrivals trigger an immediate duplicate ack so
+    fast retransmit still works.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, sender_name: str,
+                 ack_dport: int, listen_dport: int, stats: TcpStats,
+                 ack_every: int = 2) -> None:
+        self.sim = sim
+        self.host = host
+        self.sender_name = sender_name
+        self.ack_dport = ack_dport
+        self.listen_dport = listen_dport
+        self.stats = stats
+        self.ack_every = max(1, ack_every)
+        self.expected_seq = 0
+        self._out_of_order: set[int] = set()
+        self._unacked_segments = 0
+        host.listen(listen_dport, self.on_data)
+
+    def on_data(self, packet) -> None:
+        seq = packet.payload.get("seq", -1) if isinstance(packet.payload, dict) else -1
+        in_order = seq == self.expected_seq
+        if in_order:
+            self.expected_seq += 1
+            while self.expected_seq in self._out_of_order:
+                self._out_of_order.discard(self.expected_seq)
+                self.expected_seq += 1
+        elif seq > self.expected_seq:
+            self._out_of_order.add(seq)
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
+        self._unacked_segments += 1
+        if in_order and self._unacked_segments < self.ack_every:
+            return
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        self._unacked_segments = 0
+        ack = tcp_packet(self.host.name, self.sender_name, ACK_PAYLOAD_BYTES,
+                         dport=self.ack_dport, created_at=self.sim.now)
+        ack.payload = {"ack": self.expected_seq}
+        self.stats.acks_sent += 1
+        self.stats.ack_bytes_sent += ack.size
+        self.host.send(ack)
+
+
+class TcpConnection:
+    """A one-directional TCP transfer between two hosts."""
+
+    _next_port = 30000
+
+    def __init__(self, sim: Simulator, src: Host, dst: Host,
+                 total_packets: Optional[int] = None, mss: int = DEFAULT_MSS,
+                 initial_cwnd: float = 2.0, ssthresh: float = 64.0,
+                 min_rto_s: float = 10e-3, start_time: float = 0.0) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.total_packets = total_packets      # None => long-lived flow
+        self.mss = mss
+        self.cwnd = initial_cwnd
+        self.ssthresh = ssthresh
+        self.min_rto_s = min_rto_s
+        self.stats = TcpStats()
+
+        TcpConnection._next_port += 2
+        self.data_dport = TcpConnection._next_port
+        self.ack_dport = TcpConnection._next_port + 1
+
+        self.send_base = 0
+        self.next_seq = 0
+        self.dup_acks = 0
+        self.rtt_estimate_s = 4 * min_rto_s
+        self._rto_event = None
+        self._send_times: dict[int, float] = {}
+
+        self.receiver = TcpReceiver(sim, dst, src.name, self.ack_dport,
+                                    self.data_dport, self.stats)
+        src.listen(self.ack_dport, self._on_ack)
+        sim.schedule(start_time, self._pump)
+
+    # --------------------------------------------------------------- sending
+    @property
+    def finished(self) -> bool:
+        return (self.total_packets is not None
+                and self.send_base >= self.total_packets)
+
+    def _pump(self) -> None:
+        """Send as much as the window allows."""
+        if self.finished:
+            return
+        limit = self.total_packets if self.total_packets is not None else float("inf")
+        while self.next_seq < min(self.send_base + int(self.cwnd), limit):
+            self._transmit(self.next_seq)
+            self.next_seq += 1
+        self._arm_rto()
+
+    def _transmit(self, seq: int, retransmission: bool = False) -> None:
+        packet = tcp_packet(self.src.name, self.dst.name, self.mss,
+                            dport=self.data_dport, flow_id=self.data_dport,
+                            created_at=self.sim.now)
+        packet.payload = {"seq": seq}
+        self.stats.data_packets_sent += 1
+        self.stats.data_bytes_sent += packet.size
+        if retransmission:
+            self.stats.retransmissions += 1
+        self._send_times[seq] = self.sim.now
+        self.src.send(packet)
+
+    # ------------------------------------------------------------------ acks
+    def _on_ack(self, packet) -> None:
+        ack = packet.payload.get("ack", 0) if isinstance(packet.payload, dict) else 0
+        self.stats.acks_received += 1
+        if ack > self.send_base:
+            newly_acked = ack - self.send_base
+            sent_at = self._send_times.get(self.send_base)
+            if sent_at is not None:
+                sample = self.sim.now - sent_at
+                self.rtt_estimate_s = 0.875 * self.rtt_estimate_s + 0.125 * sample
+            self.send_base = ack
+            self.dup_acks = 0
+            for _ in range(newly_acked):
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += 1.0                      # slow start
+                else:
+                    self.cwnd += 1.0 / max(self.cwnd, 1)  # congestion avoidance
+            if self.finished:
+                self.stats.completed_at = self.sim.now
+                self._cancel_rto()
+                return
+            self._pump()
+        else:
+            self.dup_acks += 1
+            if self.dup_acks == 3:
+                self.ssthresh = max(self.cwnd / 2.0, 2.0)
+                self.cwnd = self.ssthresh
+                self._transmit(self.send_base, retransmission=True)
+                self.dup_acks = 0
+
+    # ------------------------------------------------------------------- RTO
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        rto = max(self.min_rto_s, 2.0 * self.rtt_estimate_s)
+        self._rto_event = self.sim.schedule(rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        if self.finished:
+            return
+        if self.send_base < self.next_seq:
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = 1.0
+            self.dup_acks = 0
+            self._transmit(self.send_base, retransmission=True)
+        self._arm_rto()
+
+    # ------------------------------------------------------------- reporting
+    def goodput_bps(self, duration_s: float) -> float:
+        """Delivered application bytes per second over ``duration_s``."""
+        if duration_s <= 0:
+            return 0.0
+        return self.send_base * self.mss * 8.0 / duration_s
+
+    def overhead_fraction(self) -> float:
+        """Control traffic (acknowledgements) as a fraction of the data bytes sent.
+
+        This is the quantity §2.2's overhead comparison uses: RCP*'s probe and
+        update TPPs play the same role for RCP* that acks play for TCP.
+        """
+        if self.stats.data_bytes_sent == 0:
+            return 0.0
+        return self.stats.ack_bytes_sent / self.stats.data_bytes_sent

@@ -1,0 +1,340 @@
+"""Topology construction and the :class:`Network` container.
+
+A :class:`Network` owns the simulator, hosts, switches and links, and knows
+how to compute and install shortest-path (optionally ECMP) routes into every
+switch's forwarding table.  Builders for the specific topologies used by the
+paper's experiments live at the bottom of the module:
+
+* :func:`build_dumbbell` — Figure 1's six-host dumbbell,
+* :func:`build_rcp_chain` — Figure 2's two-bottleneck chain,
+* :func:`build_conga_topology` — Figure 4's two-leaf/two-spine pod,
+* :func:`build_leaf_spine` and :func:`build_fat_tree` — larger fabrics used by
+  the measurement/sketch experiments and the scale tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .link import Link, mbps
+from .node import Host, Node
+from .sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.switches.switch import TPPSwitch
+
+
+@dataclass
+class Network:
+    """A simulated network: nodes, links and route computation."""
+
+    sim: Simulator
+    hosts: dict[str, Host] = field(default_factory=dict)
+    switches: dict[str, "TPPSwitch"] = field(default_factory=dict)
+    links: list[Link] = field(default_factory=list)
+    _next_switch_id: int = 1
+
+    # ------------------------------------------------------------- build-up
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate node name {name!r}")
+        host = Host(self.sim, name)
+        self.hosts[name] = host
+        return host
+
+    def add_switch(self, name: str, **kwargs) -> "TPPSwitch":
+        # Imported lazily: the switch model depends on repro.net primitives,
+        # so a module-level import here would create an import cycle.
+        from repro.switches.switch import TPPSwitch
+
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate node name {name!r}")
+        switch = TPPSwitch(self.sim, name, switch_id=self._next_switch_id, **kwargs)
+        self._next_switch_id += 1
+        self.switches[name] = switch
+        return switch
+
+    def node(self, name: str) -> Node:
+        if name in self.hosts:
+            return self.hosts[name]
+        if name in self.switches:
+            return self.switches[name]
+        raise KeyError(f"unknown node {name!r}")
+
+    @property
+    def nodes(self) -> dict[str, Node]:
+        merged: dict[str, Node] = {}
+        merged.update(self.hosts)
+        merged.update(self.switches)
+        return merged
+
+    def connect(self, name_a: str, name_b: str, rate_bps: float = mbps(100),
+                delay_s: float = 10e-6, queue_capacity_bytes: int = 512 * 1024,
+                queue_capacity_packets: Optional[int] = None) -> Link:
+        """Create a full-duplex link between two named nodes."""
+        node_a, node_b = self.node(name_a), self.node(name_b)
+        port_a = node_a.add_port(queue_capacity_bytes, queue_capacity_packets)
+        port_b = node_b.add_port(queue_capacity_bytes, queue_capacity_packets)
+        link = Link(port_a, port_b, rate_bps=rate_bps, delay_s=delay_s,
+                    name=f"{name_a}<->{name_b}")
+        self.links.append(link)
+        return link
+
+    # ----------------------------------------------------------- adjacency
+    def neighbors(self, name: str) -> list[tuple[str, int]]:
+        """(neighbor name, local port index) pairs for a node."""
+        node = self.node(name)
+        result = []
+        for port in node.ports:
+            if port.peer is not None:
+                result.append((port.peer.node.name, port.index))
+        return result
+
+    def ports_towards(self, name: str, neighbor: str) -> list[int]:
+        """Local port indices on ``name`` whose peer is ``neighbor``."""
+        return [idx for peer, idx in self.neighbors(name) if peer == neighbor]
+
+    def link_between(self, name_a: str, name_b: str) -> Optional[Link]:
+        for link in self.links:
+            ends = {link.port_a.node.name, link.port_b.node.name}
+            if ends == {name_a, name_b}:
+                return link
+        return None
+
+    # --------------------------------------------------------------- routing
+    def hop_distances_to(self, destination: str) -> dict[str, int]:
+        """BFS hop counts from every node to ``destination``."""
+        if destination not in self.hosts and destination not in self.switches:
+            raise ValueError(f"unknown destination {destination!r}")
+        distances = {destination: 0}
+        frontier = deque([destination])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor, _ in self.neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    frontier.append(neighbor)
+        return distances
+
+    def install_shortest_path_routes(self, ecmp: bool = True,
+                                     group_policy: str = "hash") -> None:
+        """Compute shortest paths to every host and install forwarding state.
+
+        When a switch has several equal-cost next hops towards a destination
+        and ``ecmp`` is True, a multipath group is installed (selection policy
+        ``group_policy``); otherwise the first next hop wins.
+        """
+        next_group_id = {name: 1000 for name in self.switches}
+        for dst_name in self.hosts:
+            distances = self.hop_distances_to(dst_name)
+            for switch_name, switch in self.switches.items():
+                if switch_name not in distances:
+                    continue
+                my_distance = distances[switch_name]
+                candidate_ports: list[int] = []
+                for neighbor, port_index in self.neighbors(switch_name):
+                    if distances.get(neighbor, float("inf")) == my_distance - 1:
+                        candidate_ports.append(port_index)
+                if not candidate_ports:
+                    continue
+                if len(candidate_ports) == 1 or not ecmp:
+                    switch.install_route(dst_name, candidate_ports[0])
+                else:
+                    group_id = next_group_id[switch_name]
+                    next_group_id[switch_name] += 1
+                    switch.install_group(group_id, candidate_ports, policy=group_policy)
+                    switch.install_group_route(dst_name, group_id)
+
+    def compute_path(self, src: str, dst: str) -> list[str]:
+        """One shortest path (node names, inclusive) from ``src`` to ``dst``."""
+        distances = self.hop_distances_to(dst)
+        if src not in distances:
+            raise ValueError(f"no path from {src} to {dst}")
+        path = [src]
+        current = src
+        while current != dst:
+            for neighbor, _ in self.neighbors(current):
+                if distances.get(neighbor, float("inf")) == distances[current] - 1:
+                    path.append(neighbor)
+                    current = neighbor
+                    break
+            else:  # pragma: no cover - disconnected mid-walk
+                raise ValueError(f"routing walk stuck at {current}")
+        return path
+
+    def stop_switch_processes(self) -> None:
+        """Stop periodic per-switch statistics updaters (keeps run_until_idle finite)."""
+        for switch in self.switches.values():
+            switch.stop()
+
+
+# ---------------------------------------------------------------------------
+# Topology builders used by the paper's experiments
+# ---------------------------------------------------------------------------
+@dataclass
+class BuiltTopology:
+    """A constructed network plus the node-name groups builders hand back."""
+
+    network: Network
+    host_names: list[str]
+    switch_names: list[str]
+    extra: dict = field(default_factory=dict)
+
+
+def build_dumbbell(sim: Simulator, hosts_per_side: int = 3,
+                   link_rate_bps: float = mbps(100), link_delay_s: float = 50e-6,
+                   queue_capacity_packets: Optional[int] = None,
+                   **switch_kwargs) -> BuiltTopology:
+    """Figure 1's topology: two switches, ``hosts_per_side`` hosts on each."""
+    net = Network(sim)
+    left_switch = net.add_switch("s0", **switch_kwargs)
+    right_switch = net.add_switch("s1", **switch_kwargs)
+    host_names = []
+    for i in range(hosts_per_side):
+        name = f"h{i}"
+        net.add_host(name)
+        net.connect(name, "s0", rate_bps=link_rate_bps, delay_s=link_delay_s,
+                    queue_capacity_packets=queue_capacity_packets)
+        host_names.append(name)
+    for i in range(hosts_per_side):
+        name = f"h{hosts_per_side + i}"
+        net.add_host(name)
+        net.connect(name, "s1", rate_bps=link_rate_bps, delay_s=link_delay_s,
+                    queue_capacity_packets=queue_capacity_packets)
+        host_names.append(name)
+    net.connect("s0", "s1", rate_bps=link_rate_bps, delay_s=link_delay_s,
+                queue_capacity_packets=queue_capacity_packets)
+    net.install_shortest_path_routes()
+    return BuiltTopology(net, host_names, ["s0", "s1"],
+                         extra={"left_switch": left_switch, "right_switch": right_switch})
+
+
+def build_rcp_chain(sim: Simulator, link_rate_bps: float = mbps(100),
+                    link_delay_s: float = 100e-6, **switch_kwargs) -> BuiltTopology:
+    """Figure 2's traffic pattern: flow *a* crosses two bottlenecks, *b* and *c* one each.
+
+    Topology::
+
+        ha --- s0 ======= s1 ======= s2 --- ha_dst
+        hb --- s0                    s2 --- hb_dst   (flow b uses s0-s1)
+               hc --- s1             s2 --- hc_dst   (flow c uses s1-s2)
+
+    The two switch-switch links (s0-s1 and s1-s2) are the shared bottlenecks.
+    """
+    net = Network(sim)
+    for name in ("s0", "s1", "s2"):
+        net.add_switch(name, **switch_kwargs)
+    hosts = ["ha", "hb", "hc", "ha_dst", "hb_dst", "hc_dst"]
+    for name in hosts:
+        net.add_host(name)
+    edge = dict(rate_bps=link_rate_bps * 10, delay_s=link_delay_s)   # non-bottleneck edges
+    core = dict(rate_bps=link_rate_bps, delay_s=link_delay_s)
+    net.connect("ha", "s0", **edge)
+    net.connect("hb", "s0", **edge)
+    net.connect("hc", "s1", **edge)
+    net.connect("hb_dst", "s1", **edge)
+    net.connect("ha_dst", "s2", **edge)
+    net.connect("hc_dst", "s2", **edge)
+    net.connect("s0", "s1", **core)
+    net.connect("s1", "s2", **core)
+    net.install_shortest_path_routes()
+    return BuiltTopology(net, hosts, ["s0", "s1", "s2"],
+                         extra={"bottlenecks": [("s0", "s1"), ("s1", "s2")]})
+
+
+def build_conga_topology(sim: Simulator, link_rate_bps: float = mbps(100),
+                         link_delay_s: float = 20e-6,
+                         group_policy: str = "dport",
+                         **switch_kwargs) -> BuiltTopology:
+    """Figure 4's example: leaves L0, L1, L2 and spines S0, S1.
+
+    L0 has a single path to L2 (via S0); L1 has two paths to L2 (via S0 or
+    S1).  Each leaf has one attached host (``hl0``, ``hl1``, ``hl2``).
+    Multipath selection at the leaves uses ``group_policy`` so end-hosts can
+    steer flowlets by changing the corresponding header field.
+    """
+    net = Network(sim)
+    for name in ("L0", "L1", "L2", "S0", "S1"):
+        net.add_switch(name, **switch_kwargs)
+    for name in ("hl0", "hl1", "hl2"):
+        net.add_host(name)
+    edge = dict(rate_bps=link_rate_bps * 10, delay_s=link_delay_s)
+    core = dict(rate_bps=link_rate_bps, delay_s=link_delay_s)
+    net.connect("hl0", "L0", **edge)
+    net.connect("hl1", "L1", **edge)
+    net.connect("hl2", "L2", **edge)
+    # L0 only attaches to S0 (single path), L1 attaches to both spines.
+    net.connect("L0", "S0", **core)
+    net.connect("L1", "S0", **core)
+    net.connect("L1", "S1", **core)
+    net.connect("L2", "S0", **core)
+    net.connect("L2", "S1", **core)
+    net.install_shortest_path_routes(ecmp=True, group_policy=group_policy)
+    return BuiltTopology(net, ["hl0", "hl1", "hl2"], ["L0", "L1", "L2", "S0", "S1"])
+
+
+def build_leaf_spine(sim: Simulator, num_leaves: int = 4, num_spines: int = 2,
+                     hosts_per_leaf: int = 4, link_rate_bps: float = mbps(100),
+                     link_delay_s: float = 20e-6, group_policy: str = "hash",
+                     **switch_kwargs) -> BuiltTopology:
+    """A generic leaf-spine fabric (used by the sketch/measurement experiments)."""
+    net = Network(sim)
+    spine_names = [f"spine{i}" for i in range(num_spines)]
+    leaf_names = [f"leaf{i}" for i in range(num_leaves)]
+    for name in spine_names + leaf_names:
+        net.add_switch(name, **switch_kwargs)
+    host_names = []
+    for leaf_index, leaf in enumerate(leaf_names):
+        for h in range(hosts_per_leaf):
+            host = f"h{leaf_index}_{h}"
+            net.add_host(host)
+            net.connect(host, leaf, rate_bps=link_rate_bps, delay_s=link_delay_s)
+            host_names.append(host)
+        for spine in spine_names:
+            net.connect(leaf, spine, rate_bps=link_rate_bps, delay_s=link_delay_s)
+    net.install_shortest_path_routes(ecmp=True, group_policy=group_policy)
+    return BuiltTopology(net, host_names, leaf_names + spine_names,
+                         extra={"leaves": leaf_names, "spines": spine_names})
+
+
+def build_fat_tree(sim: Simulator, k: int = 4, link_rate_bps: float = mbps(100),
+                   link_delay_s: float = 20e-6, **switch_kwargs) -> BuiltTopology:
+    """A k-ary fat tree (k even): (k/2)^2 core switches, k pods of k switches.
+
+    Hosts: k^3/4.  Used by scale-oriented tests and the sketch experiment's
+    "core links" scenario; k=4 keeps simulations tractable.
+    """
+    if k % 2:
+        raise ValueError("fat-tree k must be even")
+    net = Network(sim)
+    half = k // 2
+    core_names = [f"core{i}" for i in range(half * half)]
+    for name in core_names:
+        net.add_switch(name, **switch_kwargs)
+    host_names: list[str] = []
+    agg_names: list[str] = []
+    edge_names: list[str] = []
+    for pod in range(k):
+        pod_aggs = [f"agg{pod}_{i}" for i in range(half)]
+        pod_edges = [f"edge{pod}_{i}" for i in range(half)]
+        agg_names.extend(pod_aggs)
+        edge_names.extend(pod_edges)
+        for name in pod_aggs + pod_edges:
+            net.add_switch(name, **switch_kwargs)
+        for edge_index, edge in enumerate(pod_edges):
+            for h in range(half):
+                host = f"h{pod}_{edge_index}_{h}"
+                net.add_host(host)
+                net.connect(host, edge, rate_bps=link_rate_bps, delay_s=link_delay_s)
+                host_names.append(host)
+            for agg in pod_aggs:
+                net.connect(edge, agg, rate_bps=link_rate_bps, delay_s=link_delay_s)
+        for agg_index, agg in enumerate(pod_aggs):
+            for c in range(half):
+                core = core_names[agg_index * half + c]
+                net.connect(agg, core, rate_bps=link_rate_bps, delay_s=link_delay_s)
+    net.install_shortest_path_routes(ecmp=True)
+    return BuiltTopology(net, host_names, core_names + agg_names + edge_names,
+                         extra={"cores": core_names, "aggs": agg_names, "edges": edge_names})

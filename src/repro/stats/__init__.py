@@ -1,0 +1,7 @@
+"""Statistics helpers shared by applications and benchmarks."""
+
+from .series import Ewma, TimeSeries, cdf, fractiles, fraction_at_or_below
+from .summary import ComparisonRow, ExperimentSummary
+
+__all__ = ["ComparisonRow", "Ewma", "ExperimentSummary", "TimeSeries", "cdf",
+           "fractiles", "fraction_at_or_below"]

@@ -1,0 +1,122 @@
+"""Small statistics helpers: time series, CDFs/fractiles, EWMA.
+
+These are the utilities the benchmarks and applications use to turn raw
+per-packet samples into the summaries the paper's figures plot (queue
+occupancy CDFs, throughput time series, utilisation aggregates).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series with window/resampling helpers."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series samples must be appended in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Samples with start <= t < end."""
+        lo = bisect_right(self.times, start) - 1
+        lo = max(lo, 0)
+        result = TimeSeries()
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                result.add(t, v)
+        return result
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def resample(self, interval: float, start: float = 0.0, end: float | None = None,
+                 how: str = "mean") -> "TimeSeries":
+        """Aggregate into fixed windows (``how`` is "mean", "max" or "last")."""
+        if not self.times:
+            return TimeSeries()
+        end = end if end is not None else self.times[-1]
+        out = TimeSeries()
+        window_start = start
+        bucket: list[float] = []
+        index = 0
+        while window_start < end:
+            window_end = window_start + interval
+            while index < len(self.times) and self.times[index] < window_end:
+                if self.times[index] >= window_start:
+                    bucket.append(self.values[index])
+                index += 1
+            if bucket:
+                if how == "mean":
+                    value = sum(bucket) / len(bucket)
+                elif how == "max":
+                    value = max(bucket)
+                elif how == "last":
+                    value = bucket[-1]
+                else:
+                    raise ValueError(f"unknown resample mode {how!r}")
+                out.add(window_end, value)
+            bucket = []
+            window_start = window_end
+        return out
+
+
+def fractiles(samples: Sequence[float], points: Iterable[float] = (0.5, 0.9, 0.99)) -> dict[float, float]:
+    """Empirical quantiles (nearest-rank) of ``samples`` at the given points."""
+    if not samples:
+        return {p: 0.0 for p in points}
+    ordered = sorted(samples)
+    result = {}
+    for p in points:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"fractile {p} outside [0, 1]")
+        rank = min(len(ordered) - 1, max(0, int(round(p * (len(ordered) - 1)))))
+        result[p] = ordered[rank]
+    return result
+
+
+def cdf(samples: Sequence[float]) -> list[tuple[float, float]]:
+    """The empirical CDF as (value, cumulative fraction) points."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def fraction_at_or_below(samples: Sequence[float], threshold: float) -> float:
+    """P[X <= threshold] under the empirical distribution."""
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s <= threshold) / len(samples)
+
+
+class Ewma:
+    """Exponentially-weighted moving average."""
+
+    def __init__(self, alpha: float, initial: float | None = None) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value = initial
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value = self.alpha * sample + (1 - self.alpha) * self.value
+        return self.value

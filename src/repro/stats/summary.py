@@ -1,0 +1,57 @@
+"""Experiment summaries: paper-reported versus measured values.
+
+Every benchmark builds a :class:`ExperimentSummary` so the harness prints the
+same rows/series the paper reports next to what this reproduction measured,
+and EXPERIMENTS.md can be generated/checked from the same structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ComparisonRow:
+    """One paper-vs-measured data point."""
+
+    label: str
+    paper_value: Optional[float]
+    measured_value: Optional[float]
+    unit: str = ""
+    note: str = ""
+
+    def ratio(self) -> Optional[float]:
+        if self.paper_value in (None, 0) or self.measured_value is None:
+            return None
+        return self.measured_value / self.paper_value
+
+    def formatted(self) -> str:
+        paper = "-" if self.paper_value is None else f"{self.paper_value:g}"
+        measured = "-" if self.measured_value is None else f"{self.measured_value:g}"
+        unit = f" {self.unit}" if self.unit else ""
+        note = f"  ({self.note})" if self.note else ""
+        return f"{self.label:<42s} paper={paper}{unit:<8s} measured={measured}{unit}{note}"
+
+
+@dataclass
+class ExperimentSummary:
+    """A named collection of comparison rows for one table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def add(self, label: str, paper_value: Optional[float], measured_value: Optional[float],
+            unit: str = "", note: str = "") -> ComparisonRow:
+        row = ComparisonRow(label, paper_value, measured_value, unit, note)
+        self.rows.append(row)
+        return row
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.extend(row.formatted() for row in self.rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())

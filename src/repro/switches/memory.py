@@ -1,0 +1,220 @@
+"""Switch memory: resolving TPP virtual addresses against live switch state.
+
+:class:`SwitchMemory` is the glue between the TCPU (which only knows 16-bit
+virtual addresses and a per-packet context) and the concrete switch model
+(ports, queues, flow tables, registers).  It implements the
+:class:`repro.core.tcpu.MemoryInterface` protocol.
+
+Read-only vs read-write follows Table 2: statistics and metadata are
+readable; the per-link application-specific registers, per-stage registers,
+and a packet's output port / queue / path tag are writable (the latter is how
+"fast network updates" and output-port rewriting work).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core import addressing
+from repro.core.tcpu import PacketContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .switch import TPPSwitch
+
+
+class SwitchMemory:
+    """Memory-mapped view of one switch's state."""
+
+    def __init__(self, switch: "TPPSwitch") -> None:
+        self.switch = switch
+        # Per-port application-specific registers: (port index, register) -> value.
+        self.app_registers: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ read
+    def read(self, address: int, context: PacketContext) -> Optional[int]:
+        try:
+            decoded = addressing.decode(address)
+        except addressing.AddressError:
+            return None
+
+        if decoded.region == "switch":
+            return self._read_switch(decoded.field_offset)
+        if decoded.region == "stage":
+            return self._read_stage(decoded.index, decoded.field_offset)
+        if decoded.region == "link":
+            return self._read_link(decoded.index, decoded.field_offset)
+        if decoded.region == "queue":
+            return self._read_queue(decoded.index, decoded.queue_index, decoded.field_offset)
+        if decoded.region == "packet_metadata":
+            return context.metadata_word(decoded.field_offset)
+        if decoded.region == "dynamic_link":
+            port = self._dynamic_port(decoded.field_offset, context)
+            return self._read_link(port, decoded.field_offset)
+        if decoded.region == "dynamic_queue":
+            return self._read_queue(context.output_port, context.output_queue,
+                                    decoded.field_offset)
+        return None
+
+    # ----------------------------------------------------------------- write
+    def write(self, address: int, value: int, context: PacketContext) -> bool:
+        try:
+            decoded = addressing.decode(address)
+        except addressing.AddressError:
+            return False
+
+        if decoded.region in ("link", "dynamic_link"):
+            port = (decoded.index if decoded.region == "link"
+                    else self._dynamic_port(decoded.field_offset, context))
+            return self._write_link(port, decoded.field_offset, value)
+        if decoded.region == "stage":
+            stage = self.switch.pipeline.stage(decoded.index)
+            if stage is None:
+                return False
+            reg = decoded.field_offset - addressing.STAGE_FIELDS["Reg0"]
+            return stage.write_register(reg, value) if reg >= 0 else False
+        if decoded.region == "packet_metadata":
+            return self._write_packet_metadata(decoded.field_offset, value, context)
+        # Everything else (switch globals, queue stats, counters) is read-only.
+        return False
+
+    # ------------------------------------------------------------ resolvers
+    def _dynamic_port(self, field_offset: int, context: PacketContext) -> int:
+        """Packet-relative Link: fields — RX stats come from the input port."""
+        if addressing.is_dynamic_rx_field(field_offset):
+            return context.input_port
+        return context.output_port
+
+    def _read_switch(self, offset: int) -> Optional[int]:
+        switch = self.switch
+        fields = addressing.SWITCH_FIELDS
+        if offset == fields["SwitchID"]:
+            return switch.switch_id
+        if offset == fields["VersionNumber"]:
+            return switch.forwarding_version
+        if offset == fields["Clock"]:
+            return int(switch.sim.now * switch.clock_hz) & 0xFFFFFFFF
+        if offset == fields["ClockFrequency"]:
+            return int(switch.clock_hz)
+        if offset == fields["VendorID"]:
+            return switch.vendor_id
+        if offset == fields["NumPorts"]:
+            return len(switch.ports)
+        if offset == fields["Uptime"]:
+            return int(switch.sim.now * 1000)
+        return None
+
+    def _read_stage(self, stage_index: int, offset: int) -> Optional[int]:
+        stage = self.switch.pipeline.stage(stage_index)
+        if stage is None:
+            return None
+        fields = addressing.STAGE_FIELDS
+        table = stage.table
+        if offset == fields["VersionNumber"]:
+            return table.version
+        if offset == fields["ReferenceCount"]:
+            return table.reference_count
+        if offset == fields["LookupPackets"]:
+            return table.lookup_stats.packets
+        if offset == fields["LookupBytes"]:
+            return table.lookup_stats.bytes
+        if offset == fields["MatchPackets"]:
+            return table.match_stats.packets
+        if offset == fields["MatchBytes"]:
+            return table.match_stats.bytes
+        if offset >= fields["Reg0"]:
+            return stage.read_register(offset - fields["Reg0"])
+        return None
+
+    def _read_link(self, port_index: Optional[int], offset: int) -> Optional[int]:
+        if port_index is None or not 0 <= port_index < len(self.switch.ports):
+            return None
+        port = self.switch.ports[port_index]
+        stats = self.switch.port_stats[port_index]
+        fields = addressing.LINK_FIELDS
+        if offset == fields["ID"]:
+            return self.switch.link_id(port_index)
+        if offset == fields["QueueSizeBytes"]:
+            return port.queue.occupancy_bytes
+        if offset == fields["QueueSizePackets"]:
+            return port.queue.occupancy_packets
+        if offset == fields["TX-Bytes"]:
+            return port.tx_bytes
+        if offset == fields["TX-Packets"]:
+            return port.tx_packets
+        if offset == fields["TX-Utilization"]:
+            return stats.tx_utilization_bp
+        if offset == fields["RX-Bytes"]:
+            return port.rx_bytes
+        if offset == fields["RX-Packets"]:
+            return port.rx_packets
+        if offset == fields["RX-Utilization"]:
+            return stats.rx_utilization_bp
+        if offset == fields["Drop-Bytes"]:
+            return port.queue.bytes_dropped_total
+        if offset == fields["Drop-Packets"]:
+            return port.queue.packets_dropped_total
+        if offset == fields["PortStatus"]:
+            return 1 if (port.up and port.link is not None and port.link.up) else 0
+        if offset == fields["TX-Rate"]:
+            return int(stats.transmit.byte_rate)
+        if offset == fields["RX-Rate"]:
+            return int(stats.receive.byte_rate)
+        if offset == fields["Capacity"]:
+            return int(port.link.rate_bps // 1_000_000) if port.link else 0
+        if offset >= fields["AppSpecific_0"]:
+            reg = offset - fields["AppSpecific_0"]
+            if reg >= 8:
+                return None
+            return self.app_registers.get((port_index, reg), 0)
+        return None
+
+    def _write_link(self, port_index: Optional[int], offset: int, value: int) -> bool:
+        if port_index is None or not 0 <= port_index < len(self.switch.ports):
+            return False
+        fields = addressing.LINK_FIELDS
+        if offset >= fields["AppSpecific_0"]:
+            reg = offset - fields["AppSpecific_0"]
+            if reg >= 8:
+                return False
+            self.app_registers[(port_index, reg)] = value
+            return True
+        return False
+
+    def _read_queue(self, port_index: Optional[int], queue_index: Optional[int],
+                    offset: int) -> Optional[int]:
+        if port_index is None or not 0 <= port_index < len(self.switch.ports):
+            return None
+        if queue_index not in (0, None):
+            # The model keeps a single queue per port; other queue ids do not exist,
+            # so instructions addressing them fail gracefully.
+            return None
+        queue = self.switch.ports[port_index].queue
+        fields = addressing.QUEUE_FIELDS
+        if offset == fields["QueueOccupancy"]:
+            return queue.occupancy_packets
+        if offset == fields["QueueOccupancyBytes"]:
+            return queue.occupancy_bytes
+        if offset == fields["Drop-Packets"]:
+            return queue.packets_dropped_total
+        if offset == fields["Drop-Bytes"]:
+            return queue.bytes_dropped_total
+        if offset == fields["TX-Packets"]:
+            return queue.packets_dequeued_total
+        if offset == fields["TX-Bytes"]:
+            return queue.bytes_dequeued_total
+        return None
+
+    def _write_packet_metadata(self, offset: int, value: int, context: PacketContext) -> bool:
+        fields = addressing.PACKET_METADATA_FIELDS
+        if offset == fields["OutputPort"]:
+            if not 0 <= value < len(self.switch.ports):
+                return False
+            context.output_port = value
+            return True
+        if offset == fields["OutputQueue"]:
+            context.output_queue = value
+            return True
+        if offset == fields["PathID"]:
+            context.path_id = value
+            return True
+        return False

@@ -1,0 +1,208 @@
+"""The TPP-capable switch.
+
+:class:`TPPSwitch` glues the substrate together: packets arriving on a port
+run through the ingress match-action pipeline (forwarding decision), the
+per-packet context is assembled, the embedded TCPU executes any attached TPP
+against the switch's memory map, and the packet is queued on its output port.
+
+This mirrors the execution point the paper's hardware uses: TPP instructions
+execute inside the ingress/egress pipeline *after* the forwarding decision,
+so reads observe the packet-consistent values (§3.2) — e.g.
+``[PacketMetadata:OutputPort]`` is the port the packet really leaves on and
+``[Queue:QueueOccupancy]`` is the occupancy of that port's queue at the
+moment this packet is enqueued behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.tcpu import PacketContext, TCPU
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.port import Port
+from repro.net.sim import Simulator
+
+from .counters import PortStats
+from .memory import SwitchMemory
+from .parser import TPPParser
+from .pipeline import Pipeline
+from .tables import FlowEntry, Group, GroupTable
+
+#: How often switches refresh link utilisation counters (§2.2: every millisecond).
+DEFAULT_UTILIZATION_INTERVAL_S = 1e-3
+
+
+class TPPSwitch(Node):
+    """A switch that forwards packets and executes TPPs at line rate."""
+
+    def __init__(self, sim: Simulator, name: str, switch_id: int,
+                 num_stages: int = 4,
+                 tpp_enabled: bool = True,
+                 write_enabled: bool = True,
+                 forwarding_latency_s: float = 0.0,
+                 utilization_interval_s: float = DEFAULT_UTILIZATION_INTERVAL_S,
+                 utilization_ewma_alpha: float = 0.0,
+                 vendor_id: int = 0xACE1,
+                 clock_hz: float = 1e9) -> None:
+        super().__init__(sim, name)
+        self.switch_id = switch_id
+        self.vendor_id = vendor_id
+        self.clock_hz = clock_hz
+        self.tpp_enabled = tpp_enabled
+        self.forwarding_latency_s = forwarding_latency_s
+        self.utilization_interval_s = utilization_interval_s
+        self.utilization_ewma_alpha = utilization_ewma_alpha
+
+        self.pipeline = Pipeline(num_stages=num_stages)
+        self.group_table = GroupTable()
+        self.memory = SwitchMemory(self)
+        self.tcpu = TCPU(write_enabled=write_enabled)
+        self.parser = TPPParser()
+        self.port_stats: list[PortStats] = []
+
+        # Drop visibility hook (§2.6: dropped packets can be sent to a collector).
+        self.drop_callback: Optional[Callable[[Packet, "TPPSwitch"], None]] = None
+
+        # Aggregate counters.
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.tpp_packets_seen = 0
+
+        self._stats_process = sim.schedule_periodic(utilization_interval_s,
+                                                    self._update_port_stats)
+
+    # ------------------------------------------------------------------ ports
+    def add_port(self, queue_capacity_bytes: int = 512 * 1024,
+                 queue_capacity_packets: Optional[int] = None) -> Port:
+        port = super().add_port(queue_capacity_bytes, queue_capacity_packets)
+        self.port_stats.append(PortStats())
+        return port
+
+    def link_id(self, port_index: int) -> int:
+        """Globally-unique-ish link identifier exposed as ``[Link:ID]``."""
+        return (self.switch_id * 64 + port_index) & 0xFFFF
+
+    @property
+    def forwarding_version(self) -> int:
+        """A switch-wide forwarding-state generation number."""
+        return sum(stage.table.version for stage in self.pipeline.stages)
+
+    # ----------------------------------------------------------- provisioning
+    def install_route(self, dst: str, output_port: int, priority: int = 0,
+                      stage: int = 0) -> FlowEntry:
+        """Install an exact-match forwarding entry for destination ``dst``."""
+        entry = FlowEntry(match={"dst": dst}, action="forward", output_port=output_port,
+                          priority=priority, installed_at=self.sim.now)
+        return self.pipeline.stages[stage].table.install(entry)
+
+    def install_group_route(self, dst: str, group_id: int, priority: int = 0,
+                            stage: int = 0) -> FlowEntry:
+        """Install a forwarding entry that resolves through a multipath group."""
+        if group_id not in self.group_table:
+            raise KeyError(f"group {group_id} must be installed before routes reference it")
+        entry = FlowEntry(match={"dst": dst}, action="group", group_id=group_id,
+                          priority=priority, installed_at=self.sim.now)
+        return self.pipeline.stages[stage].table.install(entry)
+
+    def install_group(self, group_id: int, ports: list[int], policy: str = "hash",
+                      salt: int = 0) -> Group:
+        """Install a multipath group (ECMP hash, VLAN-selected, or dport-selected)."""
+        group = Group(group_id=group_id, ports=list(ports), policy=policy, salt=salt)
+        self.group_table.install(group)
+        return group
+
+    # ------------------------------------------------------------- forwarding
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        packet.record_hop(self.name)
+        result = self.pipeline.process(packet)
+
+        if result.action in ("drop", "no_match"):
+            self._drop(packet, reason=f"{result.action} at {self.name}")
+            return
+
+        if result.action == "group":
+            output_port = self.group_table.select(result.group_id, packet)
+        else:
+            output_port = result.output_port
+        if output_port is None or not 0 <= output_port < len(self.ports):
+            self._drop(packet, reason=f"invalid output port at {self.name}")
+            return
+
+        context = PacketContext(
+            input_port=in_port.index,
+            output_port=output_port,
+            output_queue=0,
+            matched_entry_id=result.matched_entry.entry_id if result.matched_entry else 0,
+            matched_entry_version=result.matched_entry.version if result.matched_entry else 0,
+            matched_stage=result.matched_stage,
+            hop_number=packet.tpp.hop_number if packet.tpp is not None else 0,
+            path_id=packet.vlan,
+            packet_length=packet.size,
+            arrival_time=self.sim.now,
+        )
+
+        if packet.tpp is not None and self.tpp_enabled:
+            parse = self.parser.parse(packet)
+            if parse.is_tpp:
+                self.tpp_packets_seen += 1
+                self.tcpu.execute(packet.tpp, self.memory, context)
+                packet.tpp.advance_hop()
+                # A TPP may have rewritten the packet's output port (Table 2
+                # marks it writable); honour the redirection.
+                output_port = context.output_port
+                # Reflective TPPs (§4.4): the target switch turns the probe
+                # around so the sender gets its answer in half a round trip.
+                if (packet.metadata.get("tpp_reflect_switch") == self.switch_id
+                        and not packet.metadata.get("tpp_reflected")):
+                    packet.metadata["tpp_reflected"] = True
+                    packet.src, packet.dst = packet.dst, packet.src
+                    reflected = self.pipeline.process(packet)
+                    if reflected.action == "group":
+                        output_port = self.group_table.select(reflected.group_id, packet)
+                    elif reflected.action == "forward" and reflected.output_port is not None:
+                        output_port = reflected.output_port
+                    else:
+                        self._drop(packet, reason=f"no return route at {self.name}")
+                        return
+
+        self.packets_forwarded += 1
+        if self.forwarding_latency_s > 0:
+            self.sim.schedule(self.forwarding_latency_s, self._enqueue, packet, output_port,
+                              name=f"fwd@{self.name}")
+        else:
+            self._enqueue(packet, output_port)
+
+    def _enqueue(self, packet: Packet, output_port: int) -> None:
+        self.ports[output_port].send(packet)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        packet.dropped = True
+        packet.drop_reason = reason
+        self.packets_dropped += 1
+        if self.drop_callback is not None:
+            self.drop_callback(packet, self)
+
+    def on_packet_dropped(self, packet: Packet, port: Port) -> None:
+        self.packets_dropped += 1
+        if self.drop_callback is not None:
+            self.drop_callback(packet, self)
+
+    # ------------------------------------------------------------- statistics
+    def _update_port_stats(self) -> None:
+        """Refresh per-port rates/utilisation from the raw port counters."""
+        for port, stats in zip(self.ports, self.port_stats):
+            stats.transmit.packets = port.tx_packets
+            stats.transmit.bytes = port.tx_bytes
+            stats.receive.packets = port.rx_packets
+            stats.receive.bytes = port.rx_bytes
+            stats.drops.packets = port.queue.packets_dropped_total
+            stats.drops.bytes = port.queue.bytes_dropped_total
+            capacity = port.link.rate_bps if port.link is not None else 0.0
+            if capacity > 0:
+                stats.update(self.utilization_interval_s, capacity,
+                             self.utilization_ewma_alpha)
+
+    def stop(self) -> None:
+        """Stop the periodic statistics updater (used by tests/benchmarks)."""
+        self._stats_process.stop()

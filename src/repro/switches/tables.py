@@ -1,0 +1,164 @@
+"""Match-action flow tables and group tables.
+
+The forwarding substrate the paper assumes is the "multiple match table"
+model [Bosshart et al.]: a packet flows through a pipeline of match-action
+stages; each stage holds a flow table whose entries match on header fields
+and emit an action (forward out of a port, send to a group, drop).
+
+Only the pieces the reproduced experiments exercise are modelled:
+
+* exact-match tables keyed on arbitrary header fields (we use the destination
+  host, which stands in for an L3 LPM/L2 MAC lookup),
+* per-table and per-entry statistics and version numbers (NetSight's packet
+  histories read ``[PacketMetadata:MatchedEntryID]`` and the table version),
+* group tables for multipath: a group maps to several egress ports, and the
+  selection policy can be an ECMP-style hash or a header tag (VLAN / UDP
+  destination port), which is how §2.4 lets end-hosts pick paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+
+from .counters import StatsBlock
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass
+class FlowEntry:
+    """One entry in a match-action table."""
+
+    match: dict                      # field name -> required value ("*" entries omit the field)
+    action: str                      # "forward" | "group" | "drop"
+    output_port: Optional[int] = None
+    group_id: Optional[int] = None
+    priority: int = 0
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+    version: int = 1
+    installed_at: float = 0.0
+    stats: StatsBlock = field(default_factory=StatsBlock)
+
+    def matches(self, packet: Packet) -> bool:
+        for field_name, expected in self.match.items():
+            if getattr(packet, field_name, None) != expected:
+                return False
+        return True
+
+
+class FlowTable:
+    """A priority-ordered exact-match table with lookup/match statistics."""
+
+    def __init__(self, name: str = "l3") -> None:
+        self.name = name
+        self.entries: list[FlowEntry] = []
+        self.version = 1
+        self.lookup_stats = StatsBlock()
+        self.match_stats = StatsBlock()
+
+    def install(self, entry: FlowEntry) -> FlowEntry:
+        """Add an entry and bump the table version (monotonically increasing)."""
+        entry.version = self.version + 1
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: -e.priority)
+        self.version += 1
+        return entry
+
+    def remove(self, entry_id: int) -> bool:
+        before = len(self.entries)
+        self.entries = [e for e in self.entries if e.entry_id != entry_id]
+        if len(self.entries) != before:
+            self.version += 1
+            return True
+        return False
+
+    def lookup(self, packet: Packet) -> Optional[FlowEntry]:
+        """Find the highest-priority matching entry, updating statistics."""
+        self.lookup_stats.count(packet.size)
+        for entry in self.entries:
+            if entry.matches(packet):
+                entry.stats.count(packet.size)
+                self.match_stats.count(packet.size)
+                return entry
+        return None
+
+    @property
+    def reference_count(self) -> int:
+        return len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _flow_hash(packet: Packet, salt: int = 0) -> int:
+    """Deterministic 5-tuple-ish hash used for ECMP selection."""
+    key = f"{packet.src}|{packet.dst}|{packet.protocol}|{packet.sport}|{packet.dport}|{salt}"
+    return zlib.crc32(key.encode())
+
+
+# Selection policies a group can use to pick among its ports.
+SelectionPolicy = Callable[[Packet, list[int], int], int]
+
+
+def select_by_hash(packet: Packet, ports: list[int], salt: int) -> int:
+    """ECMP: hash the flow identity; all packets of a flow take one path."""
+    return ports[_flow_hash(packet, salt) % len(ports)]
+
+
+def select_by_vlan(packet: Packet, ports: list[int], salt: int) -> int:
+    """Path chosen by the VLAN tag — the §2.4 mechanism end-hosts control."""
+    return ports[packet.vlan % len(ports)]
+
+
+def select_by_dport(packet: Packet, ports: list[int], salt: int) -> int:
+    """Path chosen by the destination UDP port (the CONGA* prototype's knob)."""
+    return ports[packet.dport % len(ports)]
+
+
+SELECTION_POLICIES: dict[str, SelectionPolicy] = {
+    "hash": select_by_hash,
+    "vlan": select_by_vlan,
+    "dport": select_by_dport,
+}
+
+
+@dataclass
+class Group:
+    """A multipath group: a set of candidate egress ports plus a selector."""
+
+    group_id: int
+    ports: list[int]
+    policy: str = "hash"
+    salt: int = 0
+
+    def select(self, packet: Packet) -> int:
+        if not self.ports:
+            raise ValueError(f"group {self.group_id} has no ports")
+        try:
+            selector = SELECTION_POLICIES[self.policy]
+        except KeyError:
+            raise ValueError(f"unknown group selection policy {self.policy!r}") from None
+        return selector(packet, self.ports, self.salt)
+
+
+class GroupTable:
+    """The switch's group table (§2.4 / OpenFlow §5.6.1)."""
+
+    def __init__(self) -> None:
+        self.groups: dict[int, Group] = {}
+
+    def install(self, group: Group) -> None:
+        self.groups[group.group_id] = group
+
+    def select(self, group_id: int, packet: Packet) -> int:
+        if group_id not in self.groups:
+            raise KeyError(f"group {group_id} is not installed")
+        return self.groups[group_id].select(packet)
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self.groups

@@ -1,0 +1,121 @@
+"""Tests for the unified memory-mapped address space."""
+
+import pytest
+
+from repro.core import addressing
+from repro.core.exceptions import AddressError
+
+
+class TestResolve:
+    def test_switch_namespace(self):
+        assert addressing.resolve("[Switch:SwitchID]") == 0x0000
+        assert addressing.resolve("[Switch:ID]") == 0x0000
+        assert addressing.resolve("Switch:VersionNumber") == 0x0001
+
+    def test_dynamic_link_namespace(self):
+        address = addressing.resolve("[Link:QueueSizeBytes]")
+        assert addressing.DYNAMIC_LINK_BASE <= address < addressing.DYNAMIC_QUEUE_BASE
+
+    def test_dynamic_queue_namespace(self):
+        address = addressing.resolve("[Queue:QueueOccupancy]")
+        assert address == addressing.DYNAMIC_QUEUE_BASE
+
+    def test_concrete_link_block(self):
+        base = addressing.resolve("[Link$0:ID]")
+        next_block = addressing.resolve("[Link$1:ID]")
+        assert base == addressing.LINK_BASE
+        assert next_block - base == addressing.LINK_BLOCK_WORDS
+
+    def test_concrete_queue_block(self):
+        address = addressing.resolve("[Queue$1$0:QueueOccupancy]")
+        expected = addressing.QUEUE_BASE + addressing.QUEUES_PER_PORT * addressing.QUEUE_BLOCK_WORDS
+        assert address == expected
+
+    def test_stage_registers(self):
+        assert (addressing.resolve("[Stage$1:Reg0]") - addressing.resolve("[Stage$0:Reg0]")
+                == addressing.STAGE_BLOCK_WORDS)
+
+    def test_packet_metadata(self):
+        assert addressing.resolve("[PacketMetadata:InputPort]") == addressing.PACKET_METADATA_BASE
+        assert addressing.resolve("[PacketMetadata:OutputPort]") == addressing.PACKET_METADATA_BASE + 1
+
+    def test_paper_mnemonics_all_resolve(self):
+        mnemonics = [
+            "[Queue:QueueOccupancy]", "[Switch:SwitchID]", "[Link:QueueSize]",
+            "[Link:RX-Utilization]", "[Link:AppSpecific_0]", "[Link:AppSpecific_1]",
+            "[Link:RX-Bytes]", "[PacketMetadata:MatchedEntryID]",
+            "[PacketMetadata:InputPort]", "[Link:ID]", "[Link:TX-Utilization]",
+            "[Link:TX-Bytes]", "[PacketMetadata:OutputPort]", "[Switch:VendorID]",
+        ]
+        for mnemonic in mnemonics:
+            assert 0 <= addressing.resolve(mnemonic) <= addressing.ADDRESS_MAX
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(AddressError):
+            addressing.resolve("[Switch:NoSuchThing]")
+
+    def test_unknown_namespace_rejected(self):
+        with pytest.raises(AddressError):
+            addressing.resolve("[Planet:Mars]")
+
+    def test_malformed_mnemonic_rejected(self):
+        with pytest.raises(AddressError):
+            addressing.resolve("SwitchID")
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(AddressError):
+            addressing.resolve(f"[Link${addressing.MAX_LINKS}:ID]")
+        with pytest.raises(AddressError):
+            addressing.resolve("[Queue$0$8:QueueOccupancy]")
+        with pytest.raises(AddressError):
+            addressing.resolve(f"[Stage${addressing.MAX_STAGES}:Reg0]")
+
+    def test_wrong_index_arity_rejected(self):
+        with pytest.raises(AddressError):
+            addressing.resolve("[Stage:Reg0]")
+        with pytest.raises(AddressError):
+            addressing.resolve("[Queue$1:QueueOccupancy]")
+
+
+class TestDecode:
+    def test_roundtrip_regions(self):
+        cases = {
+            "[Switch:Clock]": ("switch", None, None),
+            "[Stage$2:MatchBytes]": ("stage", 2, None),
+            "[Link$3:TX-Bytes]": ("link", 3, None),
+            "[Queue$2$1:Drop-Packets]": ("queue", 2, 1),
+            "[PacketMetadata:HopNumber]": ("packet_metadata", None, None),
+            "[Link:TX-Utilization]": ("dynamic_link", None, None),
+            "[Queue:QueueOccupancyBytes]": ("dynamic_queue", None, None),
+        }
+        for mnemonic, (region, index, queue_index) in cases.items():
+            decoded = addressing.decode(addressing.resolve(mnemonic))
+            assert decoded.region == region
+            if index is not None:
+                assert decoded.index == index
+            if queue_index is not None:
+                assert decoded.queue_index == queue_index
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(AddressError):
+            addressing.decode(-1)
+        with pytest.raises(AddressError):
+            addressing.decode(0x10000)
+
+    def test_unmapped_hole_rejected(self):
+        with pytest.raises(AddressError):
+            addressing.decode(0xF000)
+
+    def test_rx_fields_are_input_port_relative(self):
+        rx = addressing.LINK_FIELDS["RX-Utilization"]
+        tx = addressing.LINK_FIELDS["TX-Utilization"]
+        assert addressing.is_dynamic_rx_field(rx)
+        assert not addressing.is_dynamic_rx_field(tx)
+
+
+class TestDescribe:
+    def test_describe_roundtrips_with_resolve(self):
+        for mnemonic in ("[Switch:SwitchID]", "[Link$2:TX-Bytes]", "[Queue:QueueOccupancy]",
+                         "[PacketMetadata:OutputPort]", "[Stage$1:Reg3]"):
+            address = addressing.resolve(mnemonic)
+            assert addressing.resolve(addressing.describe(address)) == address

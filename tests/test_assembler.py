@@ -1,0 +1,112 @@
+"""Tests for the TPP pseudo-assembly parser."""
+
+import pytest
+
+from repro.core import addressing
+from repro.core.assembler import (disassemble, parse_packet_operand, parse_program,
+                                  parse_statement)
+from repro.core.exceptions import AssemblyError
+from repro.core.isa import Opcode
+
+
+class TestStatementParsing:
+    def test_push(self):
+        instruction = parse_statement("PUSH [Queue:QueueOccupancy]")
+        assert instruction.opcode is Opcode.PUSH
+        assert instruction.address == addressing.resolve("[Queue:QueueOccupancy]")
+
+    def test_pop(self):
+        instruction = parse_statement("POP [Link:AppSpecific_0]")
+        assert instruction.opcode is Opcode.POP
+
+    def test_load_with_packet_operand(self):
+        instruction = parse_statement("LOAD [Switch:SwitchID], [Packet:Hop[1]]")
+        assert instruction.opcode is Opcode.LOAD
+        assert instruction.packet_offset == 1
+
+    def test_store(self):
+        instruction = parse_statement("STORE [Link:AppSpecific_1], [Packet:Hop[2]]")
+        assert instruction.opcode is Opcode.STORE
+        assert instruction.packet_offset == 2
+
+    def test_cstore_with_adjacent_operands(self):
+        instruction = parse_statement(
+            "CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]")
+        assert instruction.opcode is Opcode.CSTORE
+        assert instruction.packet_offset == 0
+
+    def test_cstore_rejects_non_adjacent_operands(self):
+        with pytest.raises(AssemblyError):
+            parse_statement("CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[3]]")
+
+    def test_cexec(self):
+        instruction = parse_statement("CEXEC [Switch:SwitchID], [Packet:Hop[0]]")
+        assert instruction.opcode is Opcode.CEXEC
+
+    def test_lowercase_hop_accepted(self):
+        instruction = parse_statement("LOAD [Switch:SwitchID], [Packet:hop[4]]")
+        assert instruction.packet_offset == 4
+
+    def test_raw_hex_address_accepted(self):
+        instruction = parse_statement("PUSH 0xb000")
+        assert instruction.address == 0xB000
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_statement("JUMP [Switch:SwitchID]")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_statement("PUSH [Switch:SwitchID], [Packet:Hop[0]]")
+        with pytest.raises(AssemblyError):
+            parse_statement("LOAD [Switch:SwitchID]")
+
+    def test_load_requires_packet_second_operand(self):
+        with pytest.raises(AssemblyError):
+            parse_statement("LOAD [Switch:SwitchID], [Switch:Clock]")
+
+
+class TestProgramParsing:
+    def test_paper_rcp_collect_program(self):
+        source = """
+        PUSH [Switch:SwitchID]
+        PUSH [Link:QueueSize]
+        PUSH [Link:RX-Utilization]
+        PUSH [Link:AppSpecific_0] # Version number
+        PUSH [Link:AppSpecific_1] # Rfair
+        """
+        program = parse_program(source)
+        assert len(program) == 5
+        assert all(i.opcode is Opcode.PUSH for i in program)
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = parse_program("# a comment\n\nPUSH [Switch:SwitchID]\n   \n")
+        assert len(program) == 1
+
+    def test_line_continuation(self):
+        source = "CSTORE [Link:AppSpecific_0], \\\n  [Packet:Hop[0]], [Packet:Hop[1]]"
+        program = parse_program(source)
+        assert len(program) == 1
+        assert program[0].opcode is Opcode.CSTORE
+
+    def test_empty_program(self):
+        assert parse_program("# only a comment") == []
+
+    def test_disassemble_roundtrip(self):
+        source = """
+        PUSH [Switch:SwitchID]
+        LOAD [Link:TX-Bytes], [Packet:Hop[1]]
+        CSTORE [Link:AppSpecific_0], [Packet:Hop[2]], [Packet:Hop[3]]
+        """
+        program = parse_program(source)
+        assert parse_program(disassemble(program)) == program
+
+
+class TestPacketOperand:
+    def test_valid_forms(self):
+        assert parse_packet_operand("[Packet:Hop[3]]") == 3
+        assert parse_packet_operand("Packet:hop[0]") == 0
+
+    def test_invalid_forms(self):
+        assert parse_packet_operand("[Switch:SwitchID]") is None
+        assert parse_packet_operand("[Packet:Hop[x]]") is None

@@ -1,0 +1,87 @@
+"""Tests for the TPP instruction set and its wire encoding."""
+
+import pytest
+
+from repro.core.exceptions import EncodingError
+from repro.core.isa import (INSTRUCTION_BYTES, Instruction, MAX_INSTRUCTIONS, Opcode,
+                            decode_program, encode_program)
+
+
+class TestInstructionProperties:
+    def test_paper_limit_is_five_instructions(self):
+        assert MAX_INSTRUCTIONS == 5
+
+    def test_write_opcodes(self):
+        assert Instruction(Opcode.STORE, 0x1010).writes_switch
+        assert Instruction(Opcode.POP, 0x1010).writes_switch
+        assert Instruction(Opcode.CSTORE, 0x1010).writes_switch
+        assert not Instruction(Opcode.PUSH, 0x1010).writes_switch
+        assert not Instruction(Opcode.LOAD, 0x1010).writes_switch
+
+    def test_read_opcodes(self):
+        assert Instruction(Opcode.PUSH, 0x1010).reads_switch
+        assert Instruction(Opcode.LOAD, 0x1010).reads_switch
+        assert Instruction(Opcode.CEXEC, 0x1010).reads_switch
+        assert not Instruction(Opcode.STORE, 0x1010).reads_switch
+
+    def test_packet_write_opcodes(self):
+        assert Instruction(Opcode.PUSH, 0x1010).writes_packet
+        assert Instruction(Opcode.LOAD, 0x1010).writes_packet
+        assert not Instruction(Opcode.STORE, 0x1010).writes_packet
+
+    def test_conditional_opcodes(self):
+        assert Instruction(Opcode.CSTORE, 0x1010).is_conditional
+        assert Instruction(Opcode.CEXEC, 0x1010).is_conditional
+        assert not Instruction(Opcode.LOAD, 0x1010).is_conditional
+
+    def test_address_must_fit_16_bits(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.LOAD, address=0x10000)
+
+    def test_packet_offset_must_fit_8_bits(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.LOAD, address=0, packet_offset=256)
+
+
+class TestEncoding:
+    def test_instruction_is_four_bytes(self):
+        assert len(Instruction(Opcode.PUSH, 0x1234).encode()) == INSTRUCTION_BYTES
+
+    def test_roundtrip_all_opcodes(self):
+        for opcode in Opcode:
+            original = Instruction(opcode, address=0xBEEF, packet_offset=7)
+            assert Instruction.decode(original.encode()) == original
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(EncodingError):
+            Instruction.decode(b"\x00\x00\x00")
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            Instruction.decode(bytes((0xF0, 0, 0, 0)))
+
+    def test_program_roundtrip(self):
+        program = [Instruction(Opcode.PUSH, 0x0000),
+                   Instruction(Opcode.LOAD, 0x1001, packet_offset=2),
+                   Instruction(Opcode.CSTORE, 0xB010, packet_offset=0)]
+        assert decode_program(encode_program(program)) == program
+
+    def test_program_length_must_be_multiple_of_four(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x10\x00\x00\x00\x01")
+
+    def test_three_instruction_program_is_12_bytes(self):
+        # §2.1/§2.3: "the instruction overhead is 12 bytes/packet".
+        program = [Instruction(Opcode.PUSH, 0x0000)] * 3
+        assert len(encode_program(program)) == 12
+
+
+class TestRendering:
+    def test_push_renders_mnemonic(self):
+        from repro.core import addressing
+        text = str(Instruction(Opcode.PUSH, addressing.resolve("[Switch:SwitchID]")))
+        assert text.startswith("PUSH") and "Switch" in text
+
+    def test_cstore_renders_adjacent_operands(self):
+        text = str(Instruction(Opcode.CSTORE, 0xB010, packet_offset=3))
+        assert "Hop[3]" in text and "Hop[4]" in text

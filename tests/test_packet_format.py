@@ -1,0 +1,169 @@
+"""Tests for the TPP wire format (header, packet memory, encode/decode)."""
+
+import pytest
+
+from repro.core.exceptions import CapacityError, EncodingError
+from repro.core.isa import Instruction, Opcode
+from repro.core.packet_format import (AddressingMode, DEFAULT_WORD_BYTES,
+                                      MAX_PACKET_MEMORY_BYTES, TPP, TPP_HEADER_BYTES,
+                                      checksum16, make_tpp)
+
+
+def _push_program(n=3):
+    return [Instruction(Opcode.PUSH, address=i) for i in range(n)]
+
+
+class TestConstruction:
+    def test_header_is_twelve_bytes(self):
+        assert TPP_HEADER_BYTES == 12
+
+    def test_wire_length_matches_paper_microburst_overhead(self):
+        # §2.1: 12 B header + 12 B instructions + 6 B/hop * 5 hops = 54 B.
+        tpp = make_tpp(_push_program(3), num_hops=5)
+        assert tpp.wire_length() == 54
+
+    def test_instruction_limit_enforced(self):
+        with pytest.raises(CapacityError):
+            make_tpp(_push_program(6), num_hops=2)
+
+    def test_instruction_limit_can_be_raised_explicitly(self):
+        tpp = make_tpp(_push_program(6), num_hops=2, max_instructions=8)
+        assert len(tpp.instructions) == 6
+
+    def test_packet_memory_limit_enforced(self):
+        with pytest.raises(CapacityError):
+            TPP(instructions=_push_program(1),
+                memory=bytearray(MAX_PACKET_MEMORY_BYTES + 2))
+
+    def test_invalid_word_size_rejected(self):
+        with pytest.raises(EncodingError):
+            make_tpp(_push_program(1), num_hops=2, word_bytes=3)
+
+    def test_hop_mode_requires_hop_size(self):
+        with pytest.raises(EncodingError):
+            TPP(instructions=_push_program(1), memory=bytearray(8),
+                mode=AddressingMode.HOP, hop_size=0)
+
+    def test_values_per_hop_default_counts_packet_writers(self):
+        tpp = make_tpp(_push_program(3), num_hops=4)
+        assert len(tpp.memory) == 3 * DEFAULT_WORD_BYTES * 4
+
+    def test_initial_values_prefill_memory(self):
+        tpp = make_tpp([Instruction(Opcode.STORE, 0x1010)], num_hops=2,
+                       values_per_hop=2, initial_values=[7, 9, 11, 13])
+        assert tpp.all_words()[:4] == [7, 9, 11, 13]
+
+    def test_initial_values_overflow_rejected(self):
+        with pytest.raises(CapacityError):
+            make_tpp(_push_program(1), num_hops=1, values_per_hop=1,
+                     initial_values=[1, 2, 3])
+
+
+class TestMemoryAccess:
+    def test_push_and_pushed_words(self):
+        tpp = make_tpp(_push_program(2), num_hops=3)
+        assert tpp.push(10) and tpp.push(20)
+        assert tpp.pushed_words() == [10, 20]
+        assert tpp.stack_pointer == 2 * DEFAULT_WORD_BYTES
+
+    def test_push_beyond_memory_fails_gracefully(self):
+        tpp = make_tpp(_push_program(1), num_hops=1)
+        assert tpp.push(1)
+        assert not tpp.push(2)
+
+    def test_pop_consumes_in_order(self):
+        tpp = make_tpp(_push_program(2), num_hops=2, initial_values=[5, 6])
+        assert tpp.pop() == 5
+        assert tpp.pop() == 6
+
+    def test_values_truncated_to_word_size(self):
+        tpp = make_tpp(_push_program(1), num_hops=1, word_bytes=2)
+        tpp.push(0x12345)
+        assert tpp.pushed_words() == [0x2345]
+
+    def test_hop_addressing(self):
+        tpp = make_tpp([Instruction(Opcode.LOAD, 0, packet_offset=0),
+                        Instruction(Opcode.LOAD, 1, packet_offset=1)],
+                       num_hops=3, mode=AddressingMode.HOP, values_per_hop=2)
+        tpp.write_hop_word(0, 111, hop=0)
+        tpp.write_hop_word(1, 222, hop=0)
+        tpp.write_hop_word(0, 333, hop=2)
+        assert tpp.read_hop_word(0, hop=0) == 111
+        assert tpp.read_hop_word(1, hop=0) == 222
+        assert tpp.read_hop_word(0, hop=2) == 333
+
+    def test_out_of_range_hop_word_is_none(self):
+        tpp = make_tpp(_push_program(1), num_hops=2, mode=AddressingMode.HOP)
+        assert tpp.read_hop_word(0, hop=5) is None
+        assert not tpp.write_hop_word(0, 1, hop=5)
+
+    def test_words_by_hop_stack_mode(self):
+        tpp = make_tpp(_push_program(2), num_hops=3)
+        for value in (1, 2, 3, 4):
+            tpp.push(value)
+        assert tpp.words_by_hop(2) == [[1, 2], [3, 4]]
+
+    def test_words_by_hop_hop_mode(self):
+        tpp = make_tpp([Instruction(Opcode.LOAD, 0, packet_offset=0)],
+                       num_hops=3, mode=AddressingMode.HOP)
+        tpp.write_hop_word(0, 9, hop=0)
+        tpp.write_hop_word(0, 8, hop=1)
+        tpp.hop_number = 2
+        assert tpp.words_by_hop(1) == [[9], [8]]
+
+    def test_advance_hop(self):
+        tpp = make_tpp(_push_program(1), num_hops=2)
+        tpp.advance_hop()
+        tpp.advance_hop()
+        assert tpp.hop_number == 2
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        tpp = make_tpp(_push_program(3), num_hops=4, app_id=42)
+        tpp.push(1234)
+        tpp.advance_hop()
+        decoded = TPP.decode(tpp.encode())
+        assert decoded.instructions == tpp.instructions
+        assert decoded.memory == tpp.memory
+        assert decoded.app_id == 42
+        assert decoded.hop_number == 1
+        assert decoded.stack_pointer == tpp.stack_pointer
+        assert decoded.mode == tpp.mode
+        assert decoded.word_bytes == tpp.word_bytes
+
+    def test_hop_mode_roundtrip(self):
+        tpp = make_tpp([Instruction(Opcode.LOAD, 0x1000, packet_offset=0)],
+                       num_hops=3, mode=AddressingMode.HOP, word_bytes=4)
+        decoded = TPP.decode(tpp.encode())
+        assert decoded.mode is AddressingMode.HOP
+        assert decoded.hop_size == tpp.hop_size
+        assert decoded.word_bytes == 4
+
+    def test_checksum_detects_corruption(self):
+        data = bytearray(make_tpp(_push_program(2), num_hops=2).encode())
+        data[-1] ^= 0xFF
+        with pytest.raises(EncodingError):
+            TPP.decode(bytes(data))
+        TPP.decode(bytes(data), verify_checksum=False)   # can be bypassed explicitly
+
+    def test_truncated_input_rejected(self):
+        encoded = make_tpp(_push_program(2), num_hops=2).encode()
+        with pytest.raises(EncodingError):
+            TPP.decode(encoded[:8])
+        with pytest.raises(EncodingError):
+            TPP.decode(encoded[:-4])
+
+    def test_checksum16_known_properties(self):
+        assert checksum16(b"") == 0xFFFF
+        assert checksum16(b"\x00\x00") == 0xFFFF
+        assert 0 <= checksum16(b"hello world") <= 0xFFFF
+
+    def test_clone_is_independent(self):
+        tpp = make_tpp(_push_program(2), num_hops=2)
+        clone = tpp.clone()
+        clone.push(99)
+        clone.advance_hop()
+        assert tpp.stack_pointer == 0
+        assert tpp.hop_number == 0
+        assert clone.pushed_words() == [99]

@@ -1,0 +1,123 @@
+"""Tests for ports, egress queues and links."""
+
+import pytest
+
+from repro.net.link import Link, gbps, mbps
+from repro.net.node import Host
+from repro.net.packet import udp_packet
+from repro.net.port import EgressQueue
+from repro.net.sim import Simulator
+
+
+def _pair(rate=mbps(100), delay=1e-6, queue_bytes=512 * 1024, queue_packets=None):
+    sim = Simulator()
+    a, b = Host(sim, "a"), Host(sim, "b")
+    pa = a.add_port(queue_bytes, queue_packets)
+    pb = b.add_port(queue_bytes, queue_packets)
+    link = Link(pa, pb, rate_bps=rate, delay_s=delay)
+    return sim, a, b, link
+
+
+class TestEgressQueue:
+    def test_fifo_order(self):
+        queue = EgressQueue()
+        first, second = udp_packet("a", "b", 10), udp_packet("a", "b", 10)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+
+    def test_occupancy_tracks_bytes_and_packets(self):
+        queue = EgressQueue()
+        packet = udp_packet("a", "b", 100)
+        queue.enqueue(packet)
+        assert queue.occupancy_packets == 1
+        assert queue.occupancy_bytes == packet.size
+        queue.dequeue()
+        assert queue.occupancy_packets == 0
+        assert queue.occupancy_bytes == 0
+
+    def test_byte_capacity_drop(self):
+        queue = EgressQueue(capacity_bytes=200)
+        assert queue.enqueue(udp_packet("a", "b", 100))
+        assert not queue.enqueue(udp_packet("a", "b", 100))
+        assert queue.packets_dropped_total == 1
+
+    def test_packet_capacity_drop(self):
+        queue = EgressQueue(capacity_packets=2)
+        assert queue.enqueue(udp_packet("a", "b", 10))
+        assert queue.enqueue(udp_packet("a", "b", 10))
+        assert not queue.enqueue(udp_packet("a", "b", 10))
+        assert queue.packets_dropped_total == 1
+
+    def test_dequeue_empty_returns_none(self):
+        assert EgressQueue().dequeue() is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EgressQueue(capacity_bytes=0)
+
+
+class TestLink:
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        a, b = Host(sim, "a"), Host(sim, "b")
+        with pytest.raises(ValueError):
+            Link(a.add_port(), b.add_port(), rate_bps=0)
+
+    def test_other_end(self):
+        _, a, b, link = _pair()
+        assert link.other_end(a.ports[0]) is b.ports[0]
+        assert link.other_end(b.ports[0]) is a.ports[0]
+
+    def test_unit_helpers(self):
+        assert mbps(100) == 100e6
+        assert gbps(10) == 10e9
+
+
+class TestTransmission:
+    def test_packet_delivered_after_serialisation_and_propagation(self):
+        sim, a, b, link = _pair(rate=mbps(100), delay=10e-6)
+        packet = udp_packet("a", "b", 958)     # 1000 B on the wire
+        b.keep_received_log = True
+        a.send(packet)
+        sim.run_until_idle()
+        assert b.packets_received == 1
+        expected = 1000 * 8 / mbps(100) + 10e-6
+        assert packet.delivered_at == pytest.approx(expected)
+
+    def test_back_to_back_packets_serialise(self):
+        sim, a, b, _ = _pair(rate=mbps(10), delay=0.0)
+        for _ in range(3):
+            a.send(udp_packet("a", "b", 958))
+        sim.run_until_idle()
+        assert b.packets_received == 3
+        # Three 1000-byte packets at 10 Mb/s take 2.4 ms to drain.
+        assert sim.now == pytest.approx(3 * 1000 * 8 / mbps(10))
+
+    def test_queue_overflow_drops_excess(self):
+        sim, a, b, _ = _pair(rate=mbps(10), queue_packets=2)
+        # One packet in flight + two queued fit; the rest are dropped.
+        for _ in range(10):
+            a.send(udp_packet("a", "b", 958))
+        sim.run_until_idle()
+        assert b.packets_received == 3
+        assert a.ports[0].queue.packets_dropped_total == 7
+
+    def test_link_down_drops_packets(self):
+        sim, a, b, link = _pair()
+        link.set_down()
+        packet = udp_packet("a", "b", 100)
+        assert a.send(packet) is False
+        assert packet.dropped
+        link.set_up()
+        assert a.send(udp_packet("a", "b", 100)) is True
+
+    def test_counters_updated(self):
+        sim, a, b, link = _pair()
+        a.send(udp_packet("a", "b", 958))
+        sim.run_until_idle()
+        assert a.ports[0].tx_packets == 1
+        assert a.ports[0].tx_bytes == 1000
+        assert b.ports[0].rx_packets == 1
+        assert link.total_packets == 1

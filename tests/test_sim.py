@@ -1,0 +1,159 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.net.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, order.append, "c")
+        sim.schedule(0.1, order.append, "a")
+        sim.schedule(0.2, order.append, "b")
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for name in "abcde":
+            sim.schedule(1.0, order.append, name)
+        sim.run_until_idle()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.25, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [pytest.approx(0.25)]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [pytest.approx(1.5)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(0.5, second)
+
+        def second():
+            times.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run_until_idle()
+        assert times == [pytest.approx(1.0), pytest.approx(1.5)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(0.1, fired.append, 1)
+        event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, fired.append, "keep1")
+        doomed = sim.schedule(0.2, fired.append, "drop")
+        sim.schedule(0.3, fired.append, "keep2")
+        doomed.cancel()
+        sim.run_until_idle()
+        assert fired == ["keep1", "keep2"]
+
+
+class TestRunLimits:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=1.0)
+        assert fired == ["early"]
+        assert sim.now == pytest.approx(1.0)
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_even_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=2.0)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_executed == 3
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_reset_clears_everything(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+        assert sim.events_executed == 0
+
+
+class TestPeriodicProcess:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(0.5, lambda: times.append(sim.now))
+        sim.run(until=2.2)
+        assert times == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+    def test_stop_halts_future_firings(self):
+        sim = Simulator()
+        count = [0]
+        process = sim.schedule_periodic(0.1, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run(until=0.35)
+        process.stop()
+        sim.run(until=1.0)
+        assert count[0] == 3
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+    def test_jitter_function_applied(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(1.0, lambda: times.append(sim.now), jitter_fn=lambda: 0.25)
+        sim.run(until=3.0)
+        assert times == pytest.approx([1.25, 2.5])
+
+    def test_callback_args_passed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_periodic(0.5, seen.append, "tick")
+        sim.run(until=1.1)
+        assert seen == ["tick", "tick"]

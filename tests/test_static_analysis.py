@@ -1,0 +1,110 @@
+"""Tests for static analysis and access control of TPPs."""
+
+import pytest
+
+from repro.core import addressing
+from repro.core.assembler import parse_program
+from repro.core.exceptions import AccessControlError
+from repro.core.static_analysis import (MemoryGrant, analyze, check_access,
+                                        uses_write_instructions)
+
+
+def program(source):
+    return parse_program(source)
+
+
+class TestAnalyze:
+    def test_read_only_program(self):
+        report = analyze(program("PUSH [Switch:SwitchID]\nPUSH [Queue:QueueOccupancy]"))
+        assert not report.has_switch_write
+        assert len(report.read_addresses) == 2
+        assert report.write_addresses == set()
+
+    def test_write_detection(self):
+        report = analyze(program("STORE [Link:AppSpecific_1], [Packet:Hop[0]]"))
+        assert report.has_switch_write
+        assert uses_write_instructions(program("POP [Link:AppSpecific_0]"))
+        assert not uses_write_instructions(program("PUSH [Link:AppSpecific_0]"))
+
+    def test_cstore_counts_as_read_and_write(self):
+        report = analyze(program(
+            "CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]"))
+        address = addressing.resolve("[Link:AppSpecific_0]")
+        assert address in report.read_addresses
+        assert address in report.write_addresses
+        assert report.has_conditional
+
+    def test_no_hazards_in_paper_programs(self):
+        collect = """
+        PUSH [Switch:SwitchID]
+        PUSH [Link:QueueSize]
+        PUSH [Link:RX-Utilization]
+        PUSH [Link:AppSpecific_0]
+        PUSH [Link:AppSpecific_1]
+        """
+        update = """
+        CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+        STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+        """
+        assert analyze(program(collect)).hazards == []
+        assert analyze(program(update)).hazards == []
+
+    def test_write_after_write_hazard_detected(self):
+        source = """
+        LOAD [Switch:SwitchID], [Packet:Hop[0]]
+        LOAD [Switch:VersionNumber], [Packet:Hop[0]]
+        """
+        hazards = analyze(program(source)).hazards
+        assert any("write-after-write" in hazard for hazard in hazards)
+
+    def test_read_after_write_hazard_detected(self):
+        source = """
+        LOAD [Switch:SwitchID], [Packet:Hop[0]]
+        STORE [Link:AppSpecific_0], [Packet:Hop[0]]
+        """
+        hazards = analyze(program(source)).hazards
+        assert any("read-after-write" in hazard for hazard in hazards)
+
+
+class TestCheckAccess:
+    def _grants_for(self, mnemonic, operation="write"):
+        address = addressing.resolve(mnemonic)
+        return [MemoryGrant(operation, address, address)]
+
+    def test_reads_of_standard_statistics_allowed_without_grants(self):
+        check_access(program("PUSH [Switch:SwitchID]\nPUSH [Queue:QueueOccupancy]"), [])
+
+    def test_write_without_grant_rejected(self):
+        with pytest.raises(AccessControlError):
+            check_access(program("STORE [Link:AppSpecific_1], [Packet:Hop[0]]"), [])
+
+    def test_write_with_grant_allowed(self):
+        check_access(program("STORE [Link:AppSpecific_1], [Packet:Hop[0]]"),
+                     self._grants_for("[Link:AppSpecific_1]"))
+
+    def test_write_to_other_register_rejected(self):
+        with pytest.raises(AccessControlError):
+            check_access(program("STORE [Link:AppSpecific_2], [Packet:Hop[0]]"),
+                         self._grants_for("[Link:AppSpecific_1]"))
+
+    def test_app_specific_read_requires_grant(self):
+        with pytest.raises(AccessControlError):
+            check_access(program("PUSH [Link:AppSpecific_3]"), [])
+        check_access(program("PUSH [Link:AppSpecific_3]"),
+                     self._grants_for("[Link:AppSpecific_3]", operation="read"))
+
+    def test_grant_range_covers_interval(self):
+        start = addressing.resolve("[Link:AppSpecific_0]")
+        end = addressing.resolve("[Link:AppSpecific_7]")
+        grants = [MemoryGrant("write", start, end), MemoryGrant("read", start, end)]
+        check_access(program("CSTORE [Link:AppSpecific_5], [Packet:Hop[0]], [Packet:Hop[1]]"),
+                     grants)
+
+    def test_violation_message_names_the_address(self):
+        try:
+            check_access(program("STORE [Link:AppSpecific_1], [Packet:Hop[0]]"), [], app_id=7)
+        except AccessControlError as error:
+            assert "AppSpecific_1" in str(error)
+            assert "app 7" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected AccessControlError")

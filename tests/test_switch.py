@@ -1,0 +1,284 @@
+"""Tests for the TPP-capable switch: forwarding, memory map, TPP execution."""
+
+import pytest
+
+from repro.core import addressing
+from repro.core.compiler import compile_tpp
+from repro.core.isa import Instruction, Opcode
+from repro.core.packet_format import AddressingMode, make_tpp
+from repro.core.tcpu import PacketContext
+from repro.net.link import Link, mbps
+from repro.net.node import Host
+from repro.net.packet import udp_packet
+from repro.net.sim import Simulator
+from repro.net.topology import Network
+from repro.switches.counters import StatsBlock, utilization_basis_points
+from repro.switches.parser import TPPParser, parse_graph_edges
+from repro.switches.switch import TPPSwitch
+
+
+def small_network(**switch_kwargs):
+    """h0 - s1 - h1 with 10 Mb/s links."""
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("h0")
+    net.add_host("h1")
+    net.add_switch("s1", **switch_kwargs)
+    net.connect("h0", "s1", rate_bps=mbps(10))
+    net.connect("h1", "s1", rate_bps=mbps(10))
+    net.install_shortest_path_routes()
+    return sim, net
+
+
+class TestForwarding:
+    def test_forwards_by_destination(self):
+        sim, net = small_network()
+        net.hosts["h1"].keep_received_log = True
+        net.hosts["h0"].send(udp_packet("h0", "h1", 100))
+        sim.run(until=0.01)
+        assert net.hosts["h1"].packets_received == 1
+        assert net.hosts["h1"].received_log[0].path == ["h0", "s1", "h1"]
+
+    def test_unknown_destination_dropped(self):
+        sim, net = small_network()
+        net.hosts["h0"].send(udp_packet("h0", "nowhere", 100))
+        sim.run(until=0.01)
+        assert net.switches["s1"].packets_dropped == 1
+        assert net.switches["s1"].packets_forwarded == 0
+
+    def test_drop_callback_invoked(self):
+        sim, net = small_network()
+        dropped = []
+        net.switches["s1"].drop_callback = lambda packet, switch: dropped.append(packet)
+        net.hosts["h0"].send(udp_packet("h0", "nowhere", 100))
+        sim.run(until=0.01)
+        assert len(dropped) == 1
+
+    def test_forwarding_latency_delays_packets(self):
+        sim, net = small_network(forwarding_latency_s=1e-3)
+        net.hosts["h0"].send(udp_packet("h0", "h1", 100))
+        sim.run(until=0.1)
+        packet_time = net.hosts["h1"].bytes_received and sim.now
+        assert net.hosts["h1"].packets_received == 1
+
+
+class TestTppExecutionAtSwitch:
+    def test_tpp_collects_switch_id_and_metadata(self):
+        sim, net = small_network()
+        net.hosts["h1"].keep_received_log = True
+        compiled = compile_tpp("PUSH [Switch:SwitchID]\nPUSH [PacketMetadata:InputPort]\n"
+                               "PUSH [PacketMetadata:OutputPort]", num_hops=3)
+        packet = udp_packet("h0", "h1", 100)
+        packet.attach_tpp(compiled.clone_tpp())
+        net.hosts["h0"].send(packet)
+        sim.run(until=0.01)
+        received = net.hosts["h1"].received_log[0]
+        switch = net.switches["s1"]
+        in_port = net.ports_towards("s1", "h0")[0]
+        out_port = net.ports_towards("s1", "h1")[0]
+        assert received.tpp.hop_number == 1
+        assert received.tpp.words_by_hop(3) == [[switch.switch_id, in_port, out_port]]
+
+    def test_tpp_disabled_switch_does_not_execute(self):
+        sim, net = small_network(tpp_enabled=False)
+        net.hosts["h1"].keep_received_log = True
+        packet = udp_packet("h0", "h1", 100)
+        packet.attach_tpp(compile_tpp("PUSH [Switch:SwitchID]").clone_tpp())
+        net.hosts["h0"].send(packet)
+        sim.run(until=0.01)
+        assert net.hosts["h1"].received_log[0].tpp.hop_number == 0
+
+    def test_write_disabled_switch_skips_stores(self):
+        sim, net = small_network(write_enabled=False)
+        switch = net.switches["s1"]
+        tpp = make_tpp([Instruction(Opcode.STORE,
+                                    addressing.resolve("[Link:AppSpecific_0]"),
+                                    packet_offset=0)],
+                       num_hops=1, mode=AddressingMode.HOP, initial_values=[42])
+        packet = udp_packet("h0", "h1", 100)
+        packet.attach_tpp(tpp)
+        net.hosts["h0"].send(packet)
+        sim.run(until=0.01)
+        assert switch.memory.app_registers == {}
+
+    def test_store_then_push_roundtrip_through_switch_memory(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        net.hosts["h1"].keep_received_log = True
+        # First packet writes 77 into the output link's AppSpecific_0 register.
+        writer = make_tpp([Instruction(Opcode.STORE,
+                                       addressing.resolve("[Link:AppSpecific_0]"),
+                                       packet_offset=0)],
+                          num_hops=1, mode=AddressingMode.HOP, initial_values=[77])
+        first = udp_packet("h0", "h1", 100)
+        first.attach_tpp(writer)
+        net.hosts["h0"].send(first)
+        sim.run(until=0.005)
+        out_port = net.ports_towards("s1", "h1")[0]
+        assert switch.memory.app_registers[(out_port, 0)] == 77
+        # Second packet reads it back.
+        reader = compile_tpp("PUSH [Link:AppSpecific_0]").clone_tpp()
+        second = udp_packet("h0", "h1", 100)
+        second.attach_tpp(reader)
+        net.hosts["h0"].send(second)
+        sim.run(until=0.01)
+        assert net.hosts["h1"].received_log[-1].tpp.pushed_words() == [77]
+
+    def test_output_port_rewrite_redirects_packet(self):
+        # Three hosts on one switch; a TPP rewrites the output port so the
+        # packet addressed to h1 is delivered to h2 instead (Table 2 allows it).
+        sim = Simulator()
+        net = Network(sim)
+        for name in ("h0", "h1", "h2"):
+            net.add_host(name)
+        net.add_switch("s1")
+        for name in ("h0", "h1", "h2"):
+            net.connect(name, "s1", rate_bps=mbps(10))
+        net.install_shortest_path_routes()
+        port_to_h2 = net.ports_towards("s1", "h2")[0]
+        tpp = make_tpp([Instruction(Opcode.STORE,
+                                    addressing.resolve("[PacketMetadata:OutputPort]"),
+                                    packet_offset=0)],
+                       num_hops=1, mode=AddressingMode.HOP,
+                       initial_values=[port_to_h2])
+        packet = udp_packet("h0", "h1", 100)
+        packet.attach_tpp(tpp)
+        net.hosts["h0"].send(packet)
+        sim.run(until=0.01)
+        assert net.hosts["h2"].packets_received == 1
+        assert net.hosts["h1"].packets_received == 0
+
+    def test_queue_occupancy_read_is_packet_consistent(self):
+        # A fast ingress link feeding a slow egress link builds a queue; each
+        # packet's TPP must observe the occupancy at the moment it is enqueued
+        # (monotonically increasing for a back-to-back burst).
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("h0")
+        net.add_host("h1")
+        net.add_switch("s1")
+        net.connect("h0", "s1", rate_bps=mbps(100))
+        net.connect("h1", "s1", rate_bps=mbps(10))
+        net.install_shortest_path_routes()
+        net.hosts["h1"].keep_received_log = True
+        compiled = compile_tpp("PUSH [Queue:QueueOccupancy]", num_hops=2)
+        for _ in range(5):
+            packet = udp_packet("h0", "h1", 958)
+            packet.attach_tpp(compiled.clone_tpp())
+            net.hosts["h0"].send(packet)
+        sim.run(until=0.1)
+        occupancies = [p.tpp.pushed_words()[0] for p in net.hosts["h1"].received_log]
+        assert occupancies[0] == 0
+        assert max(occupancies) >= 3
+        assert occupancies == sorted(occupancies)
+
+
+class TestSwitchMemoryMap:
+    def test_switch_namespace_reads(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        context = PacketContext(input_port=0, output_port=1)
+        read = lambda m: switch.memory.read(addressing.resolve(m), context)
+        assert read("[Switch:SwitchID]") == switch.switch_id
+        assert read("[Switch:NumPorts]") == 2
+        assert read("[Switch:VendorID]") == switch.vendor_id
+        assert read("[Switch:VersionNumber]") == switch.forwarding_version
+
+    def test_link_namespace_reads(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        context = PacketContext(input_port=0, output_port=1)
+        read = lambda m: switch.memory.read(addressing.resolve(m), context)
+        assert read("[Link$1:Capacity]") == 10
+        assert read("[Link$1:PortStatus]") == 1
+        assert read("[Link:QueueSizeBytes]") == 0
+        assert read("[Link$0:ID]") == switch.link_id(0)
+
+    def test_dynamic_rx_fields_resolve_to_input_port(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        switch.ports[0].rx_bytes = 111
+        switch.ports[1].rx_bytes = 222
+        context = PacketContext(input_port=0, output_port=1)
+        value = switch.memory.read(addressing.resolve("[Link:RX-Bytes]"), context)
+        assert value == 111
+        tx_context_value = switch.memory.read(addressing.resolve("[Link:TX-Bytes]"), context)
+        assert tx_context_value == switch.ports[1].tx_bytes
+
+    def test_nonexistent_addresses_return_none(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        context = PacketContext()
+        assert switch.memory.read(addressing.resolve("[Link$50:ID]"), context) is None
+        assert switch.memory.read(addressing.resolve("[Stage$30:Reg0]"), context) is None
+        assert switch.memory.read(addressing.resolve("[Queue$0$3:QueueOccupancy]"),
+                                  context) is None
+
+    def test_counters_are_read_only(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        context = PacketContext(output_port=1)
+        assert not switch.memory.write(addressing.resolve("[Switch:SwitchID]"), 9, context)
+        assert not switch.memory.write(addressing.resolve("[Link:TX-Bytes]"), 9, context)
+        assert not switch.memory.write(addressing.resolve("[Queue:QueueOccupancy]"), 9, context)
+
+    def test_stage_register_write(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        context = PacketContext()
+        address = addressing.resolve("[Stage$1:Reg2]")
+        assert switch.memory.write(address, 314, context)
+        assert switch.memory.read(address, context) == 314
+
+    def test_utilization_updates_with_traffic(self):
+        sim, net = small_network()
+        switch = net.switches["s1"]
+        # Saturate the h1-facing link for 50 ms.
+        for _ in range(100):
+            net.hosts["h0"].send(udp_packet("h0", "h1", 958))
+        sim.run(until=0.05)
+        out_port = net.ports_towards("s1", "h1")[0]
+        utilization = switch.port_stats[out_port].tx_utilization_bp
+        assert utilization > 9000   # essentially saturated
+
+
+class TestCountersHelpers:
+    def test_stats_block_rates(self):
+        block = StatsBlock()
+        block.count(1000, packets=2)
+        block.update_rates(0.5)
+        assert block.byte_rate == pytest.approx(2000)
+        assert block.packet_rate == pytest.approx(4)
+        block.count(500)
+        block.update_rates(0.5, ewma_alpha=0.5)
+        assert block.byte_rate == pytest.approx(0.5 * 1000 + 0.5 * 2000)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StatsBlock().update_rates(0)
+
+    def test_utilization_basis_points_clamped(self):
+        assert utilization_basis_points(0, 1e6) == 0
+        assert utilization_basis_points(1e9, 1e6) == 10000
+        assert utilization_basis_points(125_000 / 2, 1e6) == 5000
+
+
+class TestParser:
+    def test_parse_modes(self):
+        parser = TPPParser()
+        plain = udp_packet("a", "b", 10)
+        assert parser.parse(plain).mode == "none"
+        piggy = udp_packet("a", "b", 10)
+        piggy.attach_tpp(compile_tpp("PUSH [Switch:SwitchID]").clone_tpp())
+        assert parser.parse(piggy).mode == "piggybacked"
+        from repro.net.packet import tpp_probe_packet
+        probe = tpp_probe_packet("a", "b", compile_tpp("PUSH [Switch:SwitchID]").clone_tpp())
+        assert parser.parse(probe).mode == "standalone"
+        assert parser.tpps_identified == 2
+
+    def test_parse_graph_has_both_tpp_entry_points(self):
+        edges = parse_graph_edges()
+        tpp_edges = [edge for edge in edges if edge[1] == "TPP"]
+        assert len(tpp_edges) == 2
+        sources = {edge[0] for edge in tpp_edges}
+        assert sources == {"Ethernet", "UDP"}

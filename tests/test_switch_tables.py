@@ -1,0 +1,129 @@
+"""Tests for flow tables, group tables and the match-action pipeline."""
+
+import pytest
+
+from repro.net.packet import udp_packet
+from repro.switches.pipeline import Pipeline
+from repro.switches.tables import (FlowEntry, FlowTable, Group, GroupTable,
+                                   select_by_dport, select_by_hash, select_by_vlan)
+
+
+class TestFlowTable:
+    def test_lookup_matches_on_fields(self):
+        table = FlowTable()
+        entry = table.install(FlowEntry(match={"dst": "h1"}, action="forward", output_port=2))
+        packet = udp_packet("h0", "h1", 100)
+        assert table.lookup(packet) is entry
+        assert table.lookup(udp_packet("h0", "h2", 100)) is None
+
+    def test_priority_order(self):
+        table = FlowTable()
+        low = table.install(FlowEntry(match={"dst": "h1"}, action="forward",
+                                      output_port=1, priority=1))
+        high = table.install(FlowEntry(match={"dst": "h1", "dport": 80}, action="drop",
+                                       priority=10))
+        assert table.lookup(udp_packet("h0", "h1", 100, dport=80)) is high
+        assert table.lookup(udp_packet("h0", "h1", 100, dport=81)) is low
+
+    def test_version_increases_on_install_and_remove(self):
+        table = FlowTable()
+        v0 = table.version
+        entry = table.install(FlowEntry(match={"dst": "h1"}, action="forward", output_port=0))
+        assert table.version == v0 + 1
+        assert table.remove(entry.entry_id)
+        assert table.version == v0 + 2
+        assert not table.remove(12345)
+
+    def test_statistics_updated(self):
+        table = FlowTable()
+        table.install(FlowEntry(match={"dst": "h1"}, action="forward", output_port=0))
+        matched = udp_packet("h0", "h1", 100)
+        missed = udp_packet("h0", "h9", 100)
+        table.lookup(matched)
+        table.lookup(missed)
+        assert table.lookup_stats.packets == 2
+        assert table.match_stats.packets == 1
+        assert table.entries[0].stats.packets == 1
+
+    def test_entry_ids_unique_and_reference_count(self):
+        table = FlowTable()
+        first = table.install(FlowEntry(match={"dst": "a"}, action="forward", output_port=0))
+        second = table.install(FlowEntry(match={"dst": "b"}, action="forward", output_port=1))
+        assert first.entry_id != second.entry_id
+        assert table.reference_count == 2
+
+
+class TestGroups:
+    def test_vlan_selection(self):
+        assert select_by_vlan(udp_packet("a", "b", 10, vlan=3), [10, 11], 0) == 11
+        assert select_by_vlan(udp_packet("a", "b", 10, vlan=2), [10, 11], 0) == 10
+
+    def test_dport_selection(self):
+        assert select_by_dport(udp_packet("a", "b", 10, dport=7), [0, 1], 0) == 1
+
+    def test_hash_selection_is_deterministic_per_flow(self):
+        packet = udp_packet("a", "b", 10, sport=1234, dport=80)
+        same = udp_packet("a", "b", 10, sport=1234, dport=80)
+        choices = [0, 1, 2, 3]
+        assert select_by_hash(packet, choices, 0) == select_by_hash(same, choices, 0)
+
+    def test_hash_selection_spreads_flows(self):
+        choices = [0, 1, 2, 3]
+        picks = {select_by_hash(udp_packet("a", "b", 10, dport=port), choices, 0)
+                 for port in range(200)}
+        assert len(picks) == len(choices)
+
+    def test_group_table_lookup(self):
+        table = GroupTable()
+        table.install(Group(group_id=5, ports=[1, 2], policy="vlan"))
+        assert 5 in table
+        assert table.select(5, udp_packet("a", "b", 10, vlan=1)) == 2
+        with pytest.raises(KeyError):
+            table.select(6, udp_packet("a", "b", 10))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Group(group_id=1, ports=[0], policy="bogus").select(udp_packet("a", "b", 10))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Group(group_id=1, ports=[]).select(udp_packet("a", "b", 10))
+
+
+class TestPipeline:
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            Pipeline(num_stages=0)
+
+    def test_first_matching_stage_wins(self):
+        pipeline = Pipeline(num_stages=3)
+        pipeline.stages[1].table.install(
+            FlowEntry(match={"dst": "h1"}, action="forward", output_port=4))
+        result = pipeline.process(udp_packet("h0", "h1", 100))
+        assert result.action == "forward"
+        assert result.output_port == 4
+        assert result.matched_stage == 1
+
+    def test_no_match(self):
+        assert Pipeline().process(udp_packet("a", "b", 10)).action == "no_match"
+
+    def test_drop_action(self):
+        pipeline = Pipeline()
+        pipeline.forwarding_table.install(FlowEntry(match={"dst": "bad"}, action="drop"))
+        assert pipeline.process(udp_packet("a", "bad", 10)).action == "drop"
+
+    def test_group_action(self):
+        pipeline = Pipeline()
+        pipeline.forwarding_table.install(
+            FlowEntry(match={"dst": "h1"}, action="group", group_id=9))
+        result = pipeline.process(udp_packet("a", "h1", 10))
+        assert result.action == "group" and result.group_id == 9
+
+    def test_stage_registers(self):
+        pipeline = Pipeline()
+        stage = pipeline.stage(2)
+        assert stage.write_register(3, 99)
+        assert stage.read_register(3) == 99
+        assert stage.read_register(8) is None
+        assert not stage.write_register(-1, 5)
+        assert pipeline.stage(99) is None

@@ -1,0 +1,214 @@
+"""Tests for the TCPU execution engine semantics (§3.2, §3.3)."""
+
+from typing import Optional
+
+import pytest
+
+from repro.core.compiler import compile_tpp
+from repro.core.isa import Instruction, Opcode
+from repro.core.packet_format import AddressingMode, make_tpp
+from repro.core.tcpu import InstructionStatus, PacketContext, TCPU
+
+
+class DictMemory:
+    """A simple MemoryInterface backed by a dict (plus read-only addresses)."""
+
+    def __init__(self, values: Optional[dict] = None, read_only: Optional[set] = None):
+        self.values = dict(values or {})
+        self.read_only = set(read_only or ())
+        self.reads = []
+        self.writes = []
+
+    def read(self, address, context):
+        self.reads.append(address)
+        return self.values.get(address)
+
+    def write(self, address, value, context):
+        self.writes.append((address, value))
+        if address in self.read_only or address not in self.values:
+            return False
+        self.values[address] = value
+        return True
+
+
+def run(source_or_instructions, memory, context=None, write_enabled=True, **kwargs):
+    if isinstance(source_or_instructions, str):
+        tpp = compile_tpp(source_or_instructions, **kwargs).tpp
+    else:
+        tpp = make_tpp(source_or_instructions, **kwargs)
+    result = TCPU(write_enabled=write_enabled).execute(tpp, memory,
+                                                       context or PacketContext())
+    return tpp, result
+
+
+class TestPushPop:
+    def test_push_copies_switch_value_into_packet(self):
+        from repro.core import addressing
+        address = addressing.resolve("[Switch:SwitchID]")
+        tpp, result = run("PUSH [Switch:SwitchID]", DictMemory({address: 7}))
+        assert tpp.pushed_words() == [7]
+        assert result.statuses == [InstructionStatus.EXECUTED]
+
+    def test_push_missing_memory_fails_gracefully(self):
+        tpp, result = run("PUSH [Switch:SwitchID]", DictMemory({}))
+        assert tpp.pushed_words() == []
+        assert result.statuses == [InstructionStatus.SKIPPED_NO_MEMORY]
+        assert not result.halted    # the TPP keeps being forwarded
+
+    def test_push_order_preserved_in_packet_memory(self):
+        from repro.core import addressing
+        a = addressing.resolve("[Switch:SwitchID]")
+        b = addressing.resolve("[Switch:VersionNumber]")
+        tpp, _ = run("PUSH [Switch:SwitchID]\nPUSH [Switch:VersionNumber]",
+                     DictMemory({a: 1, b: 2}))
+        assert tpp.pushed_words() == [1, 2]
+
+    def test_pop_writes_packet_value_to_switch(self):
+        from repro.core import addressing
+        address = addressing.resolve("[Link:AppSpecific_0]")
+        memory = DictMemory({address: 0})
+        tpp = compile_tpp("POP [Link:AppSpecific_0]", initial_values=[55], num_hops=1).tpp
+        TCPU().execute(tpp, memory, PacketContext())
+        assert memory.values[address] == 55
+
+    def test_pop_with_exhausted_memory_skips(self):
+        tpp = make_tpp([Instruction(Opcode.POP, 0x1010)], num_hops=1)
+        tpp.stack_pointer = len(tpp.memory)
+        result = TCPU().execute(tpp, DictMemory({0x1010: 0}), PacketContext())
+        assert result.statuses == [InstructionStatus.SKIPPED_NO_MEMORY]
+
+
+class TestLoadStore:
+    def test_load_into_hop_slot(self):
+        memory = DictMemory({0x0000: 99})
+        instructions = [Instruction(Opcode.LOAD, 0x0000, packet_offset=1)]
+        tpp, _ = run(instructions, memory, num_hops=2, mode=AddressingMode.HOP,
+                     values_per_hop=2)
+        assert tpp.read_hop_word(1, hop=0) == 99
+
+    def test_load_uses_current_hop_slice(self):
+        memory = DictMemory({0x0000: 5})
+        instructions = [Instruction(Opcode.LOAD, 0x0000, packet_offset=0)]
+        tpp = make_tpp(instructions, num_hops=3, mode=AddressingMode.HOP)
+        tpp.hop_number = 2
+        TCPU().execute(tpp, memory, PacketContext())
+        assert tpp.read_hop_word(0, hop=2) == 5
+        assert tpp.read_hop_word(0, hop=0) == 0
+
+    def test_store_reads_packet_word(self):
+        memory = DictMemory({0x1010: 0})
+        tpp = make_tpp([Instruction(Opcode.STORE, 0x1010, packet_offset=0)],
+                       num_hops=1, mode=AddressingMode.HOP, initial_values=[123])
+        TCPU().execute(tpp, memory, PacketContext())
+        assert memory.values[0x1010] == 123
+
+    def test_store_to_read_only_address_fails_gracefully(self):
+        memory = DictMemory({0x0000: 1}, read_only={0x0000})
+        tpp = make_tpp([Instruction(Opcode.STORE, 0x0000, packet_offset=0)],
+                       num_hops=1, mode=AddressingMode.HOP, initial_values=[9])
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert result.statuses == [InstructionStatus.SKIPPED_NO_MEMORY]
+        assert memory.values[0x0000] == 1
+
+
+class TestWriteDisable:
+    def test_writes_skipped_when_disabled(self):
+        memory = DictMemory({0x1010: 1})
+        tpp = make_tpp([Instruction(Opcode.STORE, 0x1010, packet_offset=0)],
+                       num_hops=1, mode=AddressingMode.HOP, initial_values=[9])
+        result = TCPU(write_enabled=False).execute(tpp, memory, PacketContext())
+        assert result.statuses == [InstructionStatus.SKIPPED_WRITE_DISABLED]
+        assert memory.values[0x1010] == 1
+
+    def test_reads_still_execute_when_writes_disabled(self):
+        from repro.core import addressing
+        address = addressing.resolve("[Switch:SwitchID]")
+        tpp, result = run("PUSH [Switch:SwitchID]", DictMemory({address: 3}),
+                          write_enabled=False)
+        assert tpp.pushed_words() == [3]
+
+
+class TestCStore:
+    def _cstore_tpp(self, old, new):
+        return make_tpp([Instruction(Opcode.CSTORE, 0x1010, packet_offset=0),
+                         Instruction(Opcode.STORE, 0x1011, packet_offset=2)],
+                        num_hops=1, mode=AddressingMode.HOP, values_per_hop=3,
+                        initial_values=[old, new, 777])
+
+    def test_successful_compare_and_swap(self):
+        memory = DictMemory({0x1010: 10, 0x1011: 0})
+        tpp = self._cstore_tpp(old=10, new=11)
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert memory.values[0x1010] == 11
+        assert memory.values[0x1011] == 777          # subsequent STORE executed
+        assert not result.halted
+        assert tpp.read_hop_word(0) == 11             # observed value written back
+
+    def test_failed_compare_halts_subsequent_instructions(self):
+        memory = DictMemory({0x1010: 99, 0x1011: 0})
+        tpp = self._cstore_tpp(old=10, new=11)
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert memory.values[0x1010] == 99            # unchanged
+        assert memory.values[0x1011] == 0             # STORE never ran
+        assert result.halted
+        assert result.statuses[1] is InstructionStatus.SKIPPED_HALTED
+        assert tpp.read_hop_word(0) == 99             # end-host can see the failure
+
+    def test_missing_address_fails_condition(self):
+        memory = DictMemory({})
+        tpp = self._cstore_tpp(old=0, new=1)
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert result.halted
+
+
+class TestCExec:
+    def _cexec_tpp(self, mask, value):
+        return make_tpp([Instruction(Opcode.CEXEC, 0x0000, packet_offset=0),
+                         Instruction(Opcode.LOAD, 0x0004, packet_offset=2)],
+                        num_hops=1, mode=AddressingMode.HOP, values_per_hop=3,
+                        initial_values=[mask, value, 0])
+
+    def test_matching_predicate_lets_execution_continue(self):
+        memory = DictMemory({0x0000: 0x0042, 0x0004: 1234})
+        tpp = self._cexec_tpp(mask=0xFFFF, value=0x0042)
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert not result.halted
+        assert tpp.read_hop_word(2) == 1234
+
+    def test_non_matching_predicate_halts(self):
+        memory = DictMemory({0x0000: 0x0042, 0x0004: 1234})
+        tpp = self._cexec_tpp(mask=0xFFFF, value=0x0041)
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert result.halted
+        assert tpp.read_hop_word(2) == 0
+
+    def test_mask_is_applied(self):
+        memory = DictMemory({0x0000: 0x1242, 0x0004: 1})
+        tpp = self._cexec_tpp(mask=0x00FF, value=0x0042)
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert not result.halted
+
+
+class TestPacketContext:
+    def test_metadata_words(self):
+        context = PacketContext(input_port=2, output_port=5, output_queue=1,
+                                matched_entry_id=77, matched_entry_version=3,
+                                matched_stage=1, hop_number=4, path_id=9,
+                                packet_length=1500, arrival_time=1.5)
+        assert context.metadata_word(0) == 2
+        assert context.metadata_word(1) == 5
+        assert context.metadata_word(3) == 77
+        assert context.metadata_word(7) == 9
+        assert context.metadata_word(8) == 1500
+        assert context.metadata_word(42) is None
+
+
+class TestAccounting:
+    def test_executed_counts(self):
+        from repro.core import addressing
+        address = addressing.resolve("[Switch:SwitchID]")
+        tcpu = TCPU()
+        tpp = compile_tpp("PUSH [Switch:SwitchID]\nPUSH [Switch:VersionNumber]").tpp
+        tcpu.execute(tpp, DictMemory({address: 1}), PacketContext())
+        assert tcpu.tpps_executed == 1
+        assert tcpu.instructions_executed == 1   # the second PUSH found no memory

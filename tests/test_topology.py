@@ -1,0 +1,177 @@
+"""Tests for the Network container, route computation and topology builders."""
+
+import pytest
+
+from repro.net.link import mbps
+from repro.net.packet import udp_packet
+from repro.net.sim import Simulator
+from repro.net.topology import (Network, build_conga_topology, build_dumbbell,
+                                build_fat_tree, build_leaf_spine, build_rcp_chain)
+
+
+class TestNetworkBasics:
+    def test_duplicate_names_rejected(self):
+        net = Network(Simulator())
+        net.add_host("x")
+        with pytest.raises(ValueError):
+            net.add_host("x")
+        with pytest.raises(ValueError):
+            net.add_switch("x")
+
+    def test_node_lookup(self):
+        net = Network(Simulator())
+        net.add_host("h")
+        net.add_switch("s")
+        assert net.node("h") is net.hosts["h"]
+        assert net.node("s") is net.switches["s"]
+        with pytest.raises(KeyError):
+            net.node("missing")
+        assert set(net.nodes) == {"h", "s"}
+
+    def test_connect_creates_ports_and_link(self):
+        net = Network(Simulator())
+        net.add_host("a")
+        net.add_host("b")
+        link = net.connect("a", "b", rate_bps=mbps(50), delay_s=2e-6)
+        assert link.rate_bps == mbps(50)
+        assert net.ports_towards("a", "b") == [0]
+        assert net.neighbors("a") == [("b", 0)]
+        assert net.link_between("a", "b") is link
+        assert net.link_between("a", "zzz") is None
+
+    def test_switch_ids_are_sequential_and_unique(self):
+        net = Network(Simulator())
+        ids = [net.add_switch(f"s{i}").switch_id for i in range(4)]
+        assert len(set(ids)) == 4
+
+
+class TestRouting:
+    def _line(self):
+        net = Network(Simulator())
+        for name in ("h0", "h1"):
+            net.add_host(name)
+        for name in ("s0", "s1"):
+            net.add_switch(name)
+        net.connect("h0", "s0")
+        net.connect("s0", "s1")
+        net.connect("s1", "h1")
+        return net
+
+    def test_hop_distances(self):
+        net = self._line()
+        distances = net.hop_distances_to("h1")
+        assert distances["h1"] == 0
+        assert distances["s1"] == 1
+        assert distances["s0"] == 2
+        assert distances["h0"] == 3
+
+    def test_compute_path(self):
+        net = self._line()
+        assert net.compute_path("h0", "h1") == ["h0", "s0", "s1", "h1"]
+        with pytest.raises(ValueError):
+            Network(Simulator()).compute_path("a", "b")
+
+    def test_installed_routes_deliver_traffic_both_ways(self):
+        net = self._line()
+        net.install_shortest_path_routes()
+        sim = net.sim
+        net.hosts["h0"].send(udp_packet("h0", "h1", 100))
+        net.hosts["h1"].send(udp_packet("h1", "h0", 100))
+        sim.run(until=0.05)
+        assert net.hosts["h1"].packets_received == 1
+        assert net.hosts["h0"].packets_received == 1
+
+    def test_ecmp_groups_installed_for_equal_cost_paths(self):
+        net = Network(Simulator())
+        net.add_host("src")
+        net.add_host("dst")
+        for name in ("left", "spine_a", "spine_b", "right"):
+            net.add_switch(name)
+        net.connect("src", "left")
+        net.connect("left", "spine_a")
+        net.connect("left", "spine_b")
+        net.connect("spine_a", "right")
+        net.connect("spine_b", "right")
+        net.connect("right", "dst")
+        net.install_shortest_path_routes(ecmp=True)
+        left = net.switches["left"]
+        entry = left.pipeline.forwarding_table.lookup(udp_packet("src", "dst", 10))
+        assert entry.action == "group"
+        group = left.group_table.groups[entry.group_id]
+        assert sorted(group.ports) == sorted(net.ports_towards("left", "spine_a")
+                                             + net.ports_towards("left", "spine_b"))
+
+    def test_ecmp_disabled_picks_single_port(self):
+        net = Network(Simulator())
+        net.add_host("src")
+        net.add_host("dst")
+        for name in ("left", "a", "b", "right"):
+            net.add_switch(name)
+        net.connect("src", "left")
+        net.connect("left", "a")
+        net.connect("left", "b")
+        net.connect("a", "right")
+        net.connect("b", "right")
+        net.connect("right", "dst")
+        net.install_shortest_path_routes(ecmp=False)
+        entry = net.switches["left"].pipeline.forwarding_table.lookup(udp_packet("src", "dst", 10))
+        assert entry.action == "forward"
+
+
+class TestBuilders:
+    def test_dumbbell_shape(self):
+        topo = build_dumbbell(Simulator(), hosts_per_side=3)
+        assert len(topo.host_names) == 6
+        assert len(topo.network.switches) == 2
+        assert topo.network.link_between("s0", "s1") is not None
+
+    def test_dumbbell_end_to_end(self):
+        sim = Simulator()
+        topo = build_dumbbell(sim)
+        net = topo.network
+        net.hosts["h0"].send(udp_packet("h0", "h5", 100))
+        sim.run(until=0.05)
+        assert net.hosts["h5"].packets_received == 1
+
+    def test_rcp_chain_paths(self):
+        topo = build_rcp_chain(Simulator())
+        net = topo.network
+        assert net.compute_path("ha", "ha_dst") == ["ha", "s0", "s1", "s2", "ha_dst"]
+        assert net.compute_path("hb", "hb_dst") == ["hb", "s0", "s1", "hb_dst"]
+        assert net.compute_path("hc", "hc_dst") == ["hc", "s1", "s2", "hc_dst"]
+
+    def test_rcp_chain_bottlenecks_are_core_links(self):
+        topo = build_rcp_chain(Simulator(), link_rate_bps=mbps(10))
+        net = topo.network
+        assert net.link_between("s0", "s1").rate_bps == mbps(10)
+        assert net.link_between("ha", "s0").rate_bps == mbps(100)
+
+    def test_conga_topology_has_two_paths_from_l1(self):
+        topo = build_conga_topology(Simulator())
+        net = topo.network
+        entry = net.switches["L1"].pipeline.forwarding_table.lookup(
+            udp_packet("hl1", "hl2", 10))
+        assert entry.action == "group"
+        assert net.switches["L0"].pipeline.forwarding_table.lookup(
+            udp_packet("hl0", "hl2", 10)).action == "forward"
+
+    def test_leaf_spine_counts(self):
+        topo = build_leaf_spine(Simulator(), num_leaves=3, num_spines=2, hosts_per_leaf=2)
+        assert len(topo.host_names) == 6
+        assert len(topo.network.switches) == 5
+
+    def test_fat_tree_counts(self):
+        topo = build_fat_tree(Simulator(), k=4)
+        assert len(topo.host_names) == 16          # k^3 / 4
+        assert len(topo.network.switches) == 20    # 4 core + 8 agg + 8 edge
+        with pytest.raises(ValueError):
+            build_fat_tree(Simulator(), k=3)
+
+    def test_fat_tree_connectivity(self):
+        sim = Simulator()
+        topo = build_fat_tree(sim, k=4)
+        net = topo.network
+        src, dst = topo.host_names[0], topo.host_names[-1]
+        net.hosts[src].send(udp_packet(src, dst, 100))
+        sim.run(until=0.1)
+        assert net.hosts[dst].packets_received == 1
