@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from .exceptions import AddressError
@@ -243,8 +244,14 @@ def resolve(mnemonic: str) -> int:
 # --------------------------------------------------------------------------
 # Address -> region decoding (execution time, switch side)
 # --------------------------------------------------------------------------
+@lru_cache(maxsize=None)
 def decode(address: int) -> DecodedAddress:
-    """Classify a virtual address into its region, block index and field offset."""
+    """Classify a virtual address into its region, block index and field offset.
+
+    Pure over the 16-bit address space, so results are memoized (the TCPU
+    decodes one address per memory-touching instruction per packet per hop;
+    the cache is bounded by the 65536 possible addresses).
+    """
     if not 0 <= address <= ADDRESS_MAX:
         raise AddressError(f"address {address:#x} outside the 16-bit address space")
     if address <= SWITCH_REGION_END:

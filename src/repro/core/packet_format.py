@@ -116,6 +116,30 @@ class TPP:
         return TPP_HEADER_BYTES + INSTRUCTION_BYTES * len(self.instructions) + len(self.memory)
 
     @property
+    def out_of_room(self) -> bool:
+        """Has this TPP run out of packet memory for further results?
+
+        The switch-side TCPU reports the per-instruction condition as
+        ``InstructionStatus.SKIPPED_PACKET_FULL``; this is the end-host-side
+        view of the same situation (§3.3's graceful failure), computable from
+        the returned TPP alone: the TPP visited more hops than its packet
+        memory holds results for.  Exactly filling the preallocated memory is
+        *not* out of room — nothing was lost — and a stack TPP whose pushes
+        were skipped for *missing switch memory* (leaving free room) is not
+        misreported as truncated.  The test is a heuristic: a full packet
+        that kept visiting hops may still over-report when the extra hops
+        would have executed nothing (CEXEC-gated or memory-less switches).
+        """
+        capacity = self.num_hops_capacity
+        if capacity <= 0 or self.hop_number <= capacity:
+            return False
+        if self.mode is AddressingMode.HOP:
+            return True
+        # Stack mode: room was only ever the limiting factor if the stack
+        # actually filled up; skipped pushes leave free space behind.
+        return self.stack_pointer + self.word_bytes > len(self.memory)
+
+    @property
     def num_hops_capacity(self) -> int:
         """How many hops' worth of results the packet memory can hold."""
         if self.mode is AddressingMode.HOP:
@@ -131,12 +155,20 @@ class TPP:
         """Read the word at ``byte_offset``; None when out of range."""
         if not self._check_range(byte_offset):
             return None
+        if self.word_bytes == 2:     # the common wire format, kept allocation-free
+            memory = self.memory
+            return (memory[byte_offset] << 8) | memory[byte_offset + 1]
         return int.from_bytes(self.memory[byte_offset:byte_offset + self.word_bytes], "big")
 
     def write_word_bytes(self, byte_offset: int, value: int) -> bool:
         """Write ``value`` (truncated to the word size) at ``byte_offset``."""
         if not self._check_range(byte_offset):
             return False
+        if self.word_bytes == 2:     # the common wire format, kept allocation-free
+            memory = self.memory
+            memory[byte_offset] = (value >> 8) & 0xFF
+            memory[byte_offset + 1] = value & 0xFF
+            return True
         mask = (1 << (8 * self.word_bytes)) - 1
         self.memory[byte_offset:byte_offset + self.word_bytes] = \
             int(value & mask).to_bytes(self.word_bytes, "big")

@@ -14,11 +14,33 @@ Semantics implemented here (per §3.2/§3.3):
   ``[PacketMetadata:OutputPort]`` sees exactly the port the packet leaves on;
 * packet-memory writes take effect in TPP order (we execute sequentially);
 * instructions that address memory that does not exist on this switch are
-  skipped — the TPP "fails gracefully" and keeps being forwarded;
+  skipped with :attr:`InstructionStatus.SKIPPED_NO_MEMORY` — the TPP "fails
+  gracefully" and keeps being forwarded;
+* instructions that address memory the *switch* has but the *packet* has run
+  out of (a PUSH onto a full stack, a LOAD/STORE past the preallocated
+  per-hop slice) are skipped with the distinct
+  :attr:`InstructionStatus.SKIPPED_PACKET_FULL`, so end-hosts can tell
+  "this switch lacks the statistic" apart from "the packet ran out of room"
+  when diagnosing truncated results;
+* values read from switch memory are masked to the TPP's word size before
+  they touch packet memory, so wraparound of wide statistics (e.g. the
+  32-bit microsecond timestamp) is well-defined for both 2- and 4-byte-word
+  TPPs;
 * a failed ``CSTORE`` or ``CEXEC`` halts all subsequent instructions at this
   hop (and, for CSTORE, writes the observed value back into packet memory so
-  the end-host can detect the failure);
+  the end-host can detect the failure — including when the store half itself
+  was suppressed by the administrator's write-disable knob);
 * write instructions can be disabled wholesale by the administrator (§4.3).
+
+Execution hot path
+------------------
+
+Opcodes dispatch through a handler table built once per TCPU instance
+instead of an if-ladder, and :meth:`TCPU.execute_program` additionally
+caches the resolved ``(handler, instruction)`` plan and word mask per unique
+program, so switches that see the same TPP template on every packet of a
+flow pay the opcode resolution exactly once.  :meth:`TCPU.execute` keeps the
+uncached semantics for one-off programs; both produce identical results.
 """
 
 from __future__ import annotations
@@ -30,8 +52,12 @@ from typing import Optional, Protocol
 from .isa import Instruction, Opcode
 from .packet_format import TPP
 
+#: Bounded size of the per-TCPU compiled-plan cache (templates are few; this
+#: only guards against pathological workloads with unbounded unique programs).
+_PLAN_CACHE_LIMIT = 1024
 
-@dataclass
+
+@dataclass(slots=True)
 class PacketContext:
     """Per-packet metadata available to a TPP at execution time (Tables 7/8)."""
 
@@ -47,20 +73,33 @@ class PacketContext:
     arrival_time: float = 0.0
 
     def metadata_word(self, field_offset: int) -> Optional[int]:
-        """Resolve a ``PacketMetadata:`` field offset to its value."""
-        values = {
-            0: self.input_port,
-            1: self.output_port,
-            2: self.output_queue,
-            3: self.matched_entry_id,
-            4: self.matched_entry_version,
-            5: self.matched_stage,
-            6: self.hop_number,
-            7: self.path_id,
-            8: self.packet_length,
-            9: int(self.arrival_time * 1e6) & 0xFFFFFFFF,  # microsecond timestamp
-        }
-        return values.get(field_offset)
+        """Resolve a ``PacketMetadata:`` field offset to its value.
+
+        The arrival timestamp is kept to 32 bits here (the widest word a TPP
+        can carry); the TCPU masks every metadata read down to the executing
+        TPP's word size, so narrower TPPs see a well-defined truncation.
+        """
+        if field_offset == 0:
+            return self.input_port
+        if field_offset == 1:
+            return self.output_port
+        if field_offset == 2:
+            return self.output_queue
+        if field_offset == 3:
+            return self.matched_entry_id
+        if field_offset == 4:
+            return self.matched_entry_version
+        if field_offset == 5:
+            return self.matched_stage
+        if field_offset == 6:
+            return self.hop_number
+        if field_offset == 7:
+            return self.path_id
+        if field_offset == 8:
+            return self.packet_length
+        if field_offset == 9:
+            return int(self.arrival_time * 1e6) & 0xFFFFFFFF  # microsecond timestamp
+        return None
 
 
 class MemoryInterface(Protocol):
@@ -80,6 +119,7 @@ class InstructionStatus(enum.Enum):
 
     EXECUTED = "executed"
     SKIPPED_NO_MEMORY = "skipped_no_memory"
+    SKIPPED_PACKET_FULL = "skipped_packet_full"
     SKIPPED_HALTED = "skipped_halted"
     SKIPPED_WRITE_DISABLED = "skipped_write_disabled"
     FAILED_CONDITION = "failed_condition"
@@ -100,6 +140,11 @@ class ExecutionResult:
         return sum(1 for status in self.statuses
                    if status in (InstructionStatus.EXECUTED, InstructionStatus.FAILED_CONDITION))
 
+    @property
+    def packet_full(self) -> bool:
+        """True when any instruction was skipped because packet memory ran out."""
+        return InstructionStatus.SKIPPED_PACKET_FULL in self.statuses
+
     def __bool__(self) -> bool:
         return not self.halted
 
@@ -110,100 +155,143 @@ class TCPU:
     Args:
         write_enabled: when False, all switch-memory writes (STORE, POP,
             CSTORE's store half) are suppressed — the administrator knob of
-            §4.3.  Reads still execute.
+            §4.3.  Reads still execute, and CSTORE still writes the observed
+            switch value back into packet memory so end-hosts see a coherent
+            failure (§3.3.3).
     """
 
     def __init__(self, write_enabled: bool = True) -> None:
         self.write_enabled = write_enabled
         self.tpps_executed = 0
         self.instructions_executed = 0
+        # Opcode dispatch table, built once; the per-instruction hot path is
+        # a single dict lookup instead of an if-ladder.
+        self._dispatch = {
+            Opcode.NOP: self._op_nop,
+            Opcode.PUSH: self._op_push,
+            Opcode.POP: self._op_pop,
+            Opcode.LOAD: self._op_load,
+            Opcode.STORE: self._op_store,
+            Opcode.CSTORE: self._op_cstore,
+            Opcode.CEXEC: self._op_cexec,
+        }
+        # (instructions tuple, word_bytes) -> ([(handler, instruction)], mask).
+        self._plan_cache: dict[tuple, tuple[list, int]] = {}
 
     # ------------------------------------------------------------------ main
     def execute(self, tpp: TPP, memory: MemoryInterface,
                 context: PacketContext) -> ExecutionResult:
         """Execute every instruction of ``tpp`` once (one hop's worth)."""
-        result = ExecutionResult()
-        halted = False
-        word_mask = (1 << (8 * tpp.word_bytes)) - 1
+        dispatch = self._dispatch
+        steps = [(dispatch[instruction.opcode], instruction)
+                 for instruction in tpp.instructions]
+        return self._run_steps(steps, (1 << (8 * tpp.word_bytes)) - 1,
+                               tpp, memory, context)
 
-        for instruction in tpp.instructions:
+    def execute_program(self, tpp: TPP, memory: MemoryInterface,
+                        context: PacketContext) -> ExecutionResult:
+        """Fast path: like :meth:`execute`, with the opcode-resolution plan
+        and word mask cached per unique program.
+
+        TPPs stamped from one template share their (frozen, hashable)
+        :class:`~repro.core.isa.Instruction` objects across clones, so every
+        packet of an instrumented flow after the first hits the cache.
+        """
+        key = (tuple(tpp.instructions), tpp.word_bytes)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            dispatch = self._dispatch
+            plan = ([(dispatch[instruction.opcode], instruction)
+                     for instruction in tpp.instructions],
+                    (1 << (8 * tpp.word_bytes)) - 1)
+            if len(self._plan_cache) < _PLAN_CACHE_LIMIT:
+                self._plan_cache[key] = plan
+        return self._run_steps(plan[0], plan[1], tpp, memory, context)
+
+    def _run_steps(self, steps: list, word_mask: int, tpp: TPP,
+                   memory: MemoryInterface, context: PacketContext) -> ExecutionResult:
+        result = ExecutionResult()
+        statuses = result.statuses
+        append = statuses.append
+        halted = False
+        executed = 0
+        for handler, instruction in steps:
             if halted:
-                result.statuses.append(InstructionStatus.SKIPPED_HALTED)
+                append(InstructionStatus.SKIPPED_HALTED)
                 continue
-            status = self._execute_one(instruction, tpp, memory, context, result, word_mask)
-            result.statuses.append(status)
+            status = handler(instruction, tpp, memory, context, result, word_mask)
+            append(status)
             if status is InstructionStatus.FAILED_CONDITION:
                 halted = True
-
+                executed += 1
+            elif status is InstructionStatus.EXECUTED:
+                executed += 1
         result.halted = halted
         self.tpps_executed += 1
-        self.instructions_executed += result.executed_count
+        self.instructions_executed += executed
         return result
 
     # ----------------------------------------------------------- per opcode
-    def _execute_one(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
-                     context: PacketContext, result: ExecutionResult,
-                     word_mask: int) -> InstructionStatus:
-        opcode = instruction.opcode
+    def _op_nop(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                context: PacketContext, result: ExecutionResult,
+                word_mask: int) -> InstructionStatus:
+        return InstructionStatus.EXECUTED
 
-        if opcode is Opcode.NOP:
-            return InstructionStatus.EXECUTED
+    def _op_push(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                 context: PacketContext, result: ExecutionResult,
+                 word_mask: int) -> InstructionStatus:
+        value = memory.read(instruction.address, context)
+        result.switch_reads += 1
+        if value is None:
+            return InstructionStatus.SKIPPED_NO_MEMORY
+        if not tpp.push(value & word_mask):
+            return InstructionStatus.SKIPPED_PACKET_FULL
+        return InstructionStatus.EXECUTED
 
-        if opcode is Opcode.PUSH:
-            value = memory.read(instruction.address, context)
-            result.switch_reads += 1
-            if value is None:
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            if not tpp.push(value):
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            return InstructionStatus.EXECUTED
+    def _op_pop(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                context: PacketContext, result: ExecutionResult,
+                word_mask: int) -> InstructionStatus:
+        if not self.write_enabled:
+            return InstructionStatus.SKIPPED_WRITE_DISABLED
+        value = tpp.pop()
+        if value is None:
+            return InstructionStatus.SKIPPED_PACKET_FULL
+        ok = memory.write(instruction.address, value, context)
+        result.switch_writes += 1
+        if not ok:
+            return InstructionStatus.SKIPPED_NO_MEMORY
+        result.wrote_switch_memory = True
+        return InstructionStatus.EXECUTED
 
-        if opcode is Opcode.POP:
-            if not self.write_enabled:
-                return InstructionStatus.SKIPPED_WRITE_DISABLED
-            value = tpp.pop()
-            if value is None:
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            ok = memory.write(instruction.address, value, context)
-            result.switch_writes += 1
-            if not ok:
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            result.wrote_switch_memory = True
-            return InstructionStatus.EXECUTED
+    def _op_load(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                 context: PacketContext, result: ExecutionResult,
+                 word_mask: int) -> InstructionStatus:
+        value = memory.read(instruction.address, context)
+        result.switch_reads += 1
+        if value is None:
+            return InstructionStatus.SKIPPED_NO_MEMORY
+        if not tpp.write_hop_word(instruction.packet_offset, value & word_mask):
+            return InstructionStatus.SKIPPED_PACKET_FULL
+        return InstructionStatus.EXECUTED
 
-        if opcode is Opcode.LOAD:
-            value = memory.read(instruction.address, context)
-            result.switch_reads += 1
-            if value is None:
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            if not tpp.write_hop_word(instruction.packet_offset, value):
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            return InstructionStatus.EXECUTED
+    def _op_store(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                  context: PacketContext, result: ExecutionResult,
+                  word_mask: int) -> InstructionStatus:
+        if not self.write_enabled:
+            return InstructionStatus.SKIPPED_WRITE_DISABLED
+        value = tpp.read_hop_word(instruction.packet_offset)
+        if value is None:
+            return InstructionStatus.SKIPPED_PACKET_FULL
+        ok = memory.write(instruction.address, value, context)
+        result.switch_writes += 1
+        if not ok:
+            return InstructionStatus.SKIPPED_NO_MEMORY
+        result.wrote_switch_memory = True
+        return InstructionStatus.EXECUTED
 
-        if opcode is Opcode.STORE:
-            if not self.write_enabled:
-                return InstructionStatus.SKIPPED_WRITE_DISABLED
-            value = tpp.read_hop_word(instruction.packet_offset)
-            if value is None:
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            ok = memory.write(instruction.address, value, context)
-            result.switch_writes += 1
-            if not ok:
-                return InstructionStatus.SKIPPED_NO_MEMORY
-            result.wrote_switch_memory = True
-            return InstructionStatus.EXECUTED
-
-        if opcode is Opcode.CSTORE:
-            return self._execute_cstore(instruction, tpp, memory, context, result, word_mask)
-
-        if opcode is Opcode.CEXEC:
-            return self._execute_cexec(instruction, tpp, memory, context, result, word_mask)
-
-        return InstructionStatus.SKIPPED_NO_MEMORY  # pragma: no cover - exhaustive above
-
-    def _execute_cstore(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
-                        context: PacketContext, result: ExecutionResult,
-                        word_mask: int) -> InstructionStatus:
+    def _op_cstore(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                   context: PacketContext, result: ExecutionResult,
+                   word_mask: int) -> InstructionStatus:
         """CSTORE dst, old, new — compare-and-swap gating later instructions (§3.3.3)."""
         current = memory.read(instruction.address, context)
         result.switch_reads += 1
@@ -211,15 +299,19 @@ class TCPU:
         new = tpp.read_hop_word(instruction.packet_offset + 1)
         if current is None or old is None or new is None:
             return InstructionStatus.FAILED_CONDITION
-        succeeded = (current & word_mask) == (old & word_mask)
+        current &= word_mask
+        succeeded = current == (old & word_mask)
         if succeeded:
             if not self.write_enabled:
+                # The store half is suppressed.  The "old" slot already holds
+                # the observed value (the compare just succeeded on it), so
+                # the end-host sees a coherent §3.3.3 record as-is.
                 return InstructionStatus.SKIPPED_WRITE_DISABLED
             if not memory.write(instruction.address, new, context):
                 return InstructionStatus.FAILED_CONDITION
             result.switch_writes += 1
             result.wrote_switch_memory = True
-            observed = new
+            observed = new & word_mask
         else:
             observed = current
         # Always write the observed value of X back into the "old" slot so the
@@ -227,9 +319,9 @@ class TCPU:
         tpp.write_hop_word(instruction.packet_offset, observed)
         return InstructionStatus.EXECUTED if succeeded else InstructionStatus.FAILED_CONDITION
 
-    def _execute_cexec(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
-                       context: PacketContext, result: ExecutionResult,
-                       word_mask: int) -> InstructionStatus:
+    def _op_cexec(self, instruction: Instruction, tpp: TPP, memory: MemoryInterface,
+                  context: PacketContext, result: ExecutionResult,
+                  word_mask: int) -> InstructionStatus:
         """CEXEC addr, [mask, value] — gate the rest of the TPP on a predicate."""
         switch_value = memory.read(instruction.address, context)
         result.switch_reads += 1

@@ -54,12 +54,20 @@ class Aggregator:
         self.host_name = host_name
         self.collector = collector
         self.tpps_received = 0
+        # TPPs whose packet memory ran out in-flight (§3.3): the network-side
+        # TCPU marks the skipped instructions SKIPPED_PACKET_FULL; here the
+        # end host tells truncation ("packet ran out of room") apart from a
+        # switch simply lacking the requested statistic.
+        self.tpps_truncated = 0
 
     def on_tpp(self, tpp: TPP, packet: Packet) -> None:
         self.tpps_received += 1
+        if tpp.out_of_room:
+            self.tpps_truncated += 1
 
     def summarize(self) -> object:
-        return {"host": self.host_name, "tpps": self.tpps_received}
+        return {"host": self.host_name, "tpps": self.tpps_received,
+                "tpps_truncated": self.tpps_truncated}
 
     def push_summary(self) -> None:
         if self.collector is not None:

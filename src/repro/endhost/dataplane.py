@@ -57,6 +57,7 @@ class DataplaneShim:
         self.tpps_completed = 0
         self.tpps_echoed = 0
         self.echo_bytes_sent = 0
+        self.bursts_sent = 0
         host.add_tx_hook(self._on_transmit)
         host.add_rx_hook(self._on_receive)
 
@@ -86,6 +87,17 @@ class DataplaneShim:
         self.tpps_attached += 1
         self.tpp_bytes_added += tpp.wire_length()
         return True
+
+    def send_burst(self, packets: list[Packet]) -> int:
+        """Batched injection: send a burst through the interposition path.
+
+        Each packet still traverses the filter table individually (so
+        sampling counters stay exact), but same-flow runs hit the filter
+        table's one-entry memo and the host enqueues the burst with a single
+        uplink pass.  Returns how many packets made it onto the wire.
+        """
+        self.bursts_sent += 1
+        return self.host.send_many(packets)
 
     # ----------------------------------------------------------------- receive
     def _on_receive(self, packet: Packet, host: Host) -> bool:

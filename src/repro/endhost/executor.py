@@ -82,15 +82,22 @@ class TPPExecutor:
         to turn the probe around instead of the destination host (§4.4's
         reflective pattern).
         """
+        request = self._register(tpp, dst, on_complete, retries, timeout_s,
+                                 reflect_at=reflect_at)
+        self._send_probe(request)
+        return request.request_id
+
+    def _register(self, tpp: TPP, dst: str, on_complete: CompletionCallback,
+                  retries: int, timeout_s: float,
+                  reflect_at: Optional[int] = None) -> PendingRequest:
         request = PendingRequest(request_id=next(self._request_ids), dst=dst,
                                  template=tpp, on_complete=on_complete,
                                  retries_left=retries, timeout_s=timeout_s,
                                  reflect_at=reflect_at)
         self._pending[request.request_id] = request
-        self._send_probe(request)
-        return request.request_id
+        return request
 
-    def _send_probe(self, request: PendingRequest) -> None:
+    def _build_probe(self, request: PendingRequest) -> Packet:
         probe_tpp = request.template.clone()
         probe_tpp.app_id = self.stack.executor_app_id
         probe = tpp_probe_packet(self.stack.host.name, request.dst, probe_tpp,
@@ -100,9 +107,31 @@ class TPPExecutor:
             probe.metadata["tpp_reflect_switch"] = request.reflect_at
         request.attempts += 1
         self.stats.probes_sent += 1
+        return probe
+
+    def _send_probe(self, request: PendingRequest) -> None:
+        probe = self._build_probe(request)
         request.timeout_event = self.sim.schedule(request.timeout_s, self._on_timeout,
                                                   request.request_id)
         self.stack.host.send(probe)
+
+    def _send_probes(self, requests: Sequence[PendingRequest]) -> None:
+        """Dispatch several probes as one burst (batched injection path).
+
+        The retry timers land on the heap via ``schedule_many`` and the
+        probes leave through the host's burst transmit, so fanning a
+        scatter-gather across dozens of switches costs one heap rebuild and
+        one uplink pass instead of per-probe churn.
+        """
+        if not requests:
+            return
+        probes = [self._build_probe(request) for request in requests]
+        timeouts = self.sim.schedule_many(
+            [(request.timeout_s, self._on_timeout, (request.request_id,))
+             for request in requests])
+        for request, event in zip(requests, timeouts):
+            request.timeout_event = event
+        self.stack.host.send_many(probes)
 
     def _on_timeout(self, request_id: int) -> None:
         request = self._pending.get(request_id)
@@ -193,10 +222,14 @@ class TPPExecutor:
             if len(results) == expected:
                 on_complete(results)
 
+        requests = []
         for switch_id, dst in targets.items():
-            self.execute_targeted(statistics, switch_id, dst,
-                                  on_complete=lambda tpp, sid=switch_id: _collect(sid, tpp),
-                                  retries=retries, timeout_s=timeout_s)
+            tpp = self.build_targeted_tpp(statistics, switch_id,
+                                          app_id=self.stack.executor_app_id)
+            requests.append(self._register(
+                tpp, dst, lambda tpp, sid=switch_id: _collect(sid, tpp),
+                retries=retries, timeout_s=timeout_s))
+        self._send_probes(requests)
 
     # --------------------------------------------------------------- large TPPs
     @staticmethod
@@ -225,10 +258,12 @@ class TPPExecutor:
             if remaining == 0:
                 on_complete(results)
 
+        requests = []
         for index, chunk in enumerate(chunks):
             source = "\n".join(f"PUSH [{stat.strip('[]')}]" for stat in chunk)
             compiled = compile_tpp(source, num_hops=num_hops,
                                    app_id=self.stack.executor_app_id)
-            self.execute(compiled.tpp, dst,
-                         on_complete=lambda tpp, idx=index: _collect(idx, tpp),
-                         retries=retries, timeout_s=timeout_s)
+            requests.append(self._register(
+                compiled.tpp, dst, lambda tpp, idx=index: _collect(idx, tpp),
+                retries=retries, timeout_s=timeout_s))
+        self._send_probes(requests)

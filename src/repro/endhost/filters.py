@@ -104,25 +104,44 @@ class FilterTable:
         self.entries: list[FilterEntry] = []
         self.lookups = 0
         self.rules_evaluated = 0
+        # Same-flow memo: every PacketFilter criterion is a function of
+        # Packet.flow_key(), so packets with an identical key always resolve
+        # to the same first-matching entry.  Invalidated on any rule change.
+        self._memo_key: Optional[tuple] = None
+        self._memo_entry: Optional[FilterEntry] = None
 
     def install(self, entry: FilterEntry) -> None:
         self.entries.append(entry)
         self.entries.sort(key=lambda e: -e.priority)
+        self._memo_key = None
 
     def remove_app(self, app_id: int) -> int:
         """Remove all rules belonging to an application; returns how many."""
         before = len(self.entries)
         self.entries = [e for e in self.entries if e.app_id != app_id]
+        self._memo_key = None
         return before - len(self.entries)
 
     def match(self, packet: Packet) -> Optional[FilterEntry]:
-        """First (highest-priority) entry whose filter matches the packet."""
+        """First (highest-priority) entry whose filter matches the packet.
+
+        Same-flow runs (bursts) hit a one-entry memo instead of re-walking
+        the rule list; ``lookups`` counts every call, ``rules_evaluated``
+        counts rules actually examined.
+        """
         self.lookups += 1
+        key = packet.flow_key()
+        if key == self._memo_key:
+            return self._memo_entry
+        matched = None
         for entry in self.entries:
             self.rules_evaluated += 1
             if entry.filter.matches(packet):
-                return entry
-        return None
+                matched = entry
+                break
+        self._memo_key = key
+        self._memo_entry = matched
+        return matched
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -102,6 +102,20 @@ class Packet:
         return tpp
 
     # ------------------------------------------------------------ convenience
+    def flow_key(self) -> tuple:
+        """The packet's flow identity.
+
+        This is the *single* definition shared by every same-flow memo layer
+        (pipeline forwarding decisions, group-table path selection, end-host
+        filter matching): two packets with equal flow keys are
+        indistinguishable to any rule or policy that operates on
+        flow-identity fields.  Extending flow identity means changing this
+        method (and ``repro.switches.pipeline.FLOW_KEY_FIELDS``), not the
+        individual memos.
+        """
+        return (self.src, self.dst, self.protocol, self.sport, self.dport,
+                self.vlan, self.flow_id)
+
     def record_hop(self, node_name: str) -> None:
         """Append a node to the packet's observed path (simulation bookkeeping)."""
         self.path.append(node_name)

@@ -104,11 +104,16 @@ class Port:
         self.rx_bytes = 0
         self.rx_packets = 0
         self.error_packets = 0
+        # Precomputed labels: the transmit state machine schedules two events
+        # per packet, and building f-strings there is measurable at scale.
+        self._name = f"{node.name}.p{index}"
+        self._tx_name = f"tx@{self._name}"
+        self._prop_name = f"prop@{self._name}"
 
     # -------------------------------------------------------------- identity
     @property
     def name(self) -> str:
-        return f"{self.node.name}.p{self.index}"
+        return self._name
 
     @property
     def sim(self) -> "Simulator":
@@ -150,6 +155,42 @@ class Port:
             self._start_transmission()
         return True
 
+    def send_many(self, packets: list[Packet]) -> int:
+        """Enqueue a burst of packets for transmission in one call.
+
+        The link-state checks run once for the whole burst, but enqueueing
+        interleaves with transmitter kicks exactly like a loop of
+        :meth:`send` calls — in particular, an idle transmitter dequeues the
+        burst's head *before* later packets hit the queue-capacity check, so
+        drop behaviour at a near-full queue is identical.  Returns how many
+        packets were accepted (the rest were dropped, with per-packet drop
+        accounting).
+        """
+        if self.link is None or self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        if not self.up or not self.link.up:
+            queue = self.queue
+            for packet in packets:
+                packet.dropped = True
+                packet.drop_reason = f"link down at {self.name}"
+                queue.packets_dropped_total += 1
+                queue.bytes_dropped_total += packet.size
+            return 0
+        queue = self.queue
+        now = self.sim.now
+        accepted = 0
+        for packet in packets:
+            if queue.enqueue(packet):
+                packet.enqueue_times.append(now)
+                accepted += 1
+                if not self.transmitting:
+                    self._start_transmission()
+            else:
+                packet.dropped = True
+                packet.drop_reason = f"queue overflow at {self.name}"
+                self.node.on_packet_dropped(packet, self)
+        return accepted
+
     def _start_transmission(self) -> None:
         packet = self.queue.dequeue()
         if packet is None:
@@ -158,7 +199,7 @@ class Port:
         self.transmitting = True
         tx_time = packet.transmission_time(self.link.rate_bps)
         self.sim.schedule(tx_time, self._finish_transmission, packet,
-                          name=f"tx@{self.name}")
+                          name=self._tx_name)
 
     def _finish_transmission(self, packet: Packet) -> None:
         self.tx_bytes += packet.size
@@ -166,7 +207,7 @@ class Port:
         self.link.on_transmit(packet, self)
         # Propagate to the peer after the link delay.
         self.sim.schedule(self.link.delay_s, self._deliver_to_peer, packet,
-                          name=f"prop@{self.name}")
+                          name=self._prop_name)
         # Immediately begin the next packet, if any.
         self._start_transmission()
 

@@ -6,13 +6,29 @@ is a classic event-heap design:
 
 * time is a ``float`` number of seconds,
 * events are ``(time, sequence, Event)`` tuples on a binary heap, so events
-  scheduled for the same instant fire in FIFO order,
+  scheduled for the same instant fire in FIFO order.  Plain tuples keep the
+  heap comparisons in C (the sequence number breaks every tie, so the Event
+  object itself is never compared),
 * callbacks are plain callables; periodic processes are built on top with
   :meth:`Simulator.schedule_periodic`.
 
+Cancellation is lazy: a cancelled event stays in the heap and is skipped when
+popped, which keeps :meth:`Event.cancel` O(1).  To stop long-lived workloads
+(mass retries, stopped periodic processes) from bloating the heap with dead
+entries, the simulator counts cancelled-but-still-heaped events and compacts
+the heap once more than half of it is dead.  :attr:`Simulator.pending_events`
+therefore reports only *live* events.
+
+Bursty producers (links draining a queue, the end-host dataplane injecting a
+batch of packets) should use :meth:`Simulator.schedule_many`, which validates
+once and inserts the whole burst with a single heapify when that is cheaper
+than repeated pushes.
+
 The simulator is deliberately synchronous and single-threaded: determinism is
 a design requirement because the reproduced experiments (queue occupancy time
-series, fairness convergence) are compared against the paper's figures.
+series, fairness convergence) are compared against the paper's figures.  All
+of the fast paths above preserve the exact (time, sequence) execution order
+of the straightforward implementation.
 """
 
 from __future__ import annotations
@@ -20,19 +36,15 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional, Sequence
+
+#: Never bother compacting heaps smaller than this; the scan costs more than
+#: the dead entries do.
+_COMPACT_MIN_HEAP = 64
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
-
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
 
 
 class Event:
@@ -40,21 +52,32 @@ class Event:
 
     Events support cancellation: a cancelled event stays in the heap but is
     skipped when popped.  This keeps scheduling O(log n) without requiring
-    heap surgery.
+    heap surgery; the owning simulator tracks how many dead entries remain
+    and compacts the heap when they dominate.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled", "name")
+    __slots__ = ("time", "callback", "args", "cancelled", "_name", "_sim")
 
-    def __init__(self, time: float, callback: Callable, args: tuple, name: str = ""):
+    def __init__(self, time: float, callback: Callable, args: tuple, name: str = "",
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
-        self.name = name or getattr(callback, "__name__", "event")
+        self._name = name
+        self._sim = sim
+
+    @property
+    def name(self) -> str:
+        """Debugging label (resolved lazily so the hot path never pays for it)."""
+        return self._name or getattr(self.callback, "__name__", "event")
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -108,10 +131,13 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[_HeapEntry] = []
+        # Heap of (time, seq, Event) tuples; seq is unique so ties never
+        # compare the Event objects.
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_executed = 0
+        self._cancelled = 0
         self._running = False
 
     # ------------------------------------------------------------------ time
@@ -127,39 +153,123 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
+        """Number of *live* (non-cancelled) events still on the heap."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_events_pending(self) -> int:
+        """Cancelled events still occupying heap slots (before compaction)."""
+        return self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, including cancelled entries (for hygiene tests)."""
         return len(self._heap)
 
     # ------------------------------------------------------------ scheduling
     def schedule(self, delay: float, callback: Callable, *args, name: str = "") -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0 or math.isnan(delay):
-            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
-        return self.schedule_at(self._now + delay, callback, *args, name=name)
+        self._check_delay(delay)
+        when = self._now + delay
+        event = Event(when, callback, args, name=name, sim=self)
+        heapq.heappush(self._heap, (when, next(self._seq), event))
+        return event
 
     def schedule_at(self, when: float, callback: Callable, *args, name: str = "") -> Event:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if math.isnan(when):
+            raise SimulationError("cannot schedule an event at a NaN time")
+        if math.isinf(when):
+            raise SimulationError("cannot schedule an event at an infinite time")
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at t={when} which is before now={self._now}")
-        event = Event(when, callback, args, name=name)
-        heapq.heappush(self._heap, _HeapEntry(when, next(self._seq), event))
+        event = Event(when, callback, args, name=name, sim=self)
+        heapq.heappush(self._heap, (when, next(self._seq), event))
         return event
+
+    def schedule_many(self, specs: Iterable[Sequence], name: str = "") -> list[Event]:
+        """Schedule a burst of events in one call (the batch-injection path).
+
+        ``specs`` is an iterable of ``(delay, callback)`` or
+        ``(delay, callback, args)`` tuples, each relative to *now*.  The
+        events receive consecutive sequence numbers in iteration order, so
+        the execution order is exactly what the equivalent loop of
+        :meth:`schedule` calls would produce; the difference is purely that
+        large bursts are inserted with one heapify instead of per-event
+        sifting.
+        """
+        now = self._now
+        seq = self._seq
+        entries: list[tuple[float, int, Event]] = []
+        events: list[Event] = []
+        for spec in specs:
+            delay, callback = spec[0], spec[1]
+            args = tuple(spec[2]) if len(spec) > 2 else ()
+            self._check_delay(delay)
+            event = Event(now + delay, callback, args, name=name, sim=self)
+            entries.append((event.time, next(seq), event))
+            events.append(event)
+        heap = self._heap
+        if len(entries) * 4 >= len(heap):
+            # O(n + k) rebuild beats k O(log n) pushes for big bursts.
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+        return events
 
     def schedule_periodic(self, interval: float, callback: Callable, *args,
                           jitter_fn: Optional[Callable[[], float]] = None) -> PeriodicProcess:
         """Run ``callback(*args)`` every ``interval`` seconds until stopped."""
         return PeriodicProcess(self, interval, callback, args, jitter_fn=jitter_fn)
 
+    @staticmethod
+    def _check_delay(delay: float) -> None:
+        if delay != delay:  # NaN compares unequal to itself
+            raise SimulationError("cannot schedule an event with a NaN delay")
+        if delay == math.inf or delay == -math.inf:
+            raise SimulationError("cannot schedule an event with an infinite delay")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+
+    # -------------------------------------------------------- heap hygiene
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts the heap when dead entries win."""
+        self._cancelled += 1
+        if (self._cancelled * 2 > len(self._heap)
+                and len(self._heap) >= _COMPACT_MIN_HEAP):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Pop order of the surviving entries is untouched: it is fully
+        determined by their (time, seq) keys, which do not change.  The
+        compaction happens *in place* — the run loop holds a reference to
+        the heap list while callbacks (which may cancel events and trigger
+        compaction) execute, so the list object must never be swapped out.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
     # --------------------------------------------------------------- running
     def step(self) -> bool:
         """Execute the next non-cancelled event.  Returns False when idle."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _seq, event = pop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = entry.time
+            # Detach before executing: a late cancel() on an event that has
+            # already left the heap must not skew the dead-entry counter.
+            event._sim = None
+            self._now = when
             event.callback(*event.args)
             self._events_executed += 1
             return True
@@ -172,19 +282,34 @@ class Simulator:
             until: stop once simulation time would exceed this value; the
                 simulator clock is advanced to ``until`` on return.
             max_events: safety valve; stop after executing this many events.
+
+        The time limit is checked against the next *live* event: cancelled
+        entries at the head of the heap are discarded without consuming the
+        budget or (unlike a naive peek-then-step loop) letting an event past
+        ``until`` slip through behind them.
         """
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     break
-                # Peek for the time limit before popping.
-                next_time = self._heap[0].time
-                if until is not None and next_time > until:
+                when, _seq, event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
+                    continue
+                if until is not None and when > until:
                     break
-                if not self.step():
-                    break
+                pop(heap)
+                # Detach before executing (see step()): a late cancel() on a
+                # popped event must not skew the dead-entry counter.
+                event._sim = None
+                self._now = when
+                event.callback(*event.args)
+                self._events_executed += 1
                 executed += 1
         finally:
             self._running = False
@@ -197,9 +322,12 @@ class Simulator:
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
+        for _, _, event in self._heap:
+            event._sim = None       # late cancels must not touch the counter
         self._heap.clear()
         self._now = 0.0
         self._events_executed = 0
+        self._cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self._now:.6f}s pending={self.pending_events} "

@@ -29,6 +29,17 @@ class SwitchMemory:
         self.switch = switch
         # Per-port application-specific registers: (port index, register) -> value.
         self.app_registers: dict[tuple[int, int], int] = {}
+        # Region dispatch table: one dict lookup on the hot path instead of a
+        # string-comparison ladder.
+        self._readers = {
+            "switch": self._read_switch_region,
+            "stage": self._read_stage_region,
+            "link": self._read_link_region,
+            "queue": self._read_queue_region,
+            "packet_metadata": self._read_metadata_region,
+            "dynamic_link": self._read_dynamic_link_region,
+            "dynamic_queue": self._read_dynamic_queue_region,
+        }
 
     # ------------------------------------------------------------------ read
     def read(self, address: int, context: PacketContext) -> Optional[int]:
@@ -36,24 +47,33 @@ class SwitchMemory:
             decoded = addressing.decode(address)
         except addressing.AddressError:
             return None
+        reader = self._readers.get(decoded.region)
+        if reader is None:
+            return None
+        return reader(decoded, context)
 
-        if decoded.region == "switch":
-            return self._read_switch(decoded.field_offset)
-        if decoded.region == "stage":
-            return self._read_stage(decoded.index, decoded.field_offset)
-        if decoded.region == "link":
-            return self._read_link(decoded.index, decoded.field_offset)
-        if decoded.region == "queue":
-            return self._read_queue(decoded.index, decoded.queue_index, decoded.field_offset)
-        if decoded.region == "packet_metadata":
-            return context.metadata_word(decoded.field_offset)
-        if decoded.region == "dynamic_link":
-            port = self._dynamic_port(decoded.field_offset, context)
-            return self._read_link(port, decoded.field_offset)
-        if decoded.region == "dynamic_queue":
-            return self._read_queue(context.output_port, context.output_queue,
-                                    decoded.field_offset)
-        return None
+    def _read_switch_region(self, decoded, context: PacketContext) -> Optional[int]:
+        return self._read_switch(decoded.field_offset)
+
+    def _read_stage_region(self, decoded, context: PacketContext) -> Optional[int]:
+        return self._read_stage(decoded.index, decoded.field_offset)
+
+    def _read_link_region(self, decoded, context: PacketContext) -> Optional[int]:
+        return self._read_link(decoded.index, decoded.field_offset)
+
+    def _read_queue_region(self, decoded, context: PacketContext) -> Optional[int]:
+        return self._read_queue(decoded.index, decoded.queue_index, decoded.field_offset)
+
+    def _read_metadata_region(self, decoded, context: PacketContext) -> Optional[int]:
+        return context.metadata_word(decoded.field_offset)
+
+    def _read_dynamic_link_region(self, decoded, context: PacketContext) -> Optional[int]:
+        port = self._dynamic_port(decoded.field_offset, context)
+        return self._read_link(port, decoded.field_offset)
+
+    def _read_dynamic_queue_region(self, decoded, context: PacketContext) -> Optional[int]:
+        return self._read_queue(context.output_port, context.output_queue,
+                                decoded.field_offset)
 
     # ----------------------------------------------------------------- write
     def write(self, address: int, value: int, context: PacketContext) -> bool:

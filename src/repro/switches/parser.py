@@ -41,6 +41,20 @@ class TPPParser:
         self.packets_parsed = 0
         self.tpps_identified = 0
 
+    def classify(self, packet: Packet) -> bool:
+        """Fast-path classification: is there a TPP to execute on this packet?
+
+        Maintains the same counters and reaches the same verdict as
+        :meth:`parse` (every packet carrying a TPP object parses as a TPP in
+        one of the graph's modes) without allocating a :class:`ParseResult`;
+        the switch hot path only needs the boolean.
+        """
+        self.packets_parsed += 1
+        if packet.tpp is None:
+            return False
+        self.tpps_identified += 1
+        return True
+
     def parse(self, packet: Packet) -> ParseResult:
         """Walk the parse graph for one packet."""
         self.packets_parsed += 1

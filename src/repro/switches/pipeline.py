@@ -11,6 +11,20 @@ hardware latency, which :mod:`repro.hardware.latency_model` accounts for
 separately), but the stage structure is real: forwarding happens in the first
 stage that produces a match, and the matched stage index is recorded in the
 packet's metadata so TPPs can read it.
+
+Batched processing
+------------------
+
+Traffic is bursty, and consecutive packets at a switch usually belong to the
+same flow.  :class:`FlowLookupCache` memoizes the last forwarding decision
+keyed by the packet's flow identity and replays the per-table statistics
+updates a real lookup would have made, so same-flow runs skip the
+match-action scan entirely.  The cache only engages while *every* installed
+entry matches on flow-identity fields (the common case — routes match on
+``dst``); any entry matching on another attribute, or any table mutation,
+disables or invalidates it, so results are always identical to
+:meth:`Pipeline.process`.  :meth:`Pipeline.process_batch` and the switch's
+batched receive path are built on it.
 """
 
 from __future__ import annotations
@@ -63,6 +77,11 @@ class Pipeline:
         self.name = name
         self.stages = [Stage(index=i, table=FlowTable(name=f"{name}-stage{i}"))
                        for i in range(num_stages)]
+        # One shared mutation cell across every stage table: flow-lookup
+        # memos detect any install/remove by reading a single integer.
+        self.generation: list[int] = [0]
+        for stage in self.stages:
+            stage.table.generation = self.generation
 
     def __len__(self) -> int:
         return len(self.stages)
@@ -94,3 +113,86 @@ class Pipeline:
             return PipelineResult(action="forward", output_port=entry.output_port,
                                   matched_entry=entry, matched_stage=stage.index)
         return PipelineResult(action="no_match")
+
+    def lookup_cache(self) -> "FlowLookupCache":
+        """A fresh same-flow memoizing view of this pipeline (see module docs)."""
+        return FlowLookupCache(self)
+
+    def process_batch(self, packets: list[Packet]) -> list[PipelineResult]:
+        """Process a list of packets in one call, skipping re-lookup for
+        same-flow runs.  Results and statistics match per-packet
+        :meth:`process` calls exactly."""
+        process = FlowLookupCache(self).process
+        return [process(packet) for packet in packets]
+
+
+#: Packet attributes that together identify a flow for memoization purposes —
+#: the field-name view of :meth:`repro.net.packet.Packet.flow_key`.  An
+#: installed entry is "flow-keyed" when every field it matches on is in this
+#: set; only then can a decision be replayed for an identical key.
+FLOW_KEY_FIELDS = frozenset(
+    {"src", "dst", "protocol", "sport", "dport", "vlan", "flow_id"})
+
+
+class FlowLookupCache:
+    """Memoizes forwarding decisions keyed by the packet's flow identity.
+
+    Semantics-preserving by construction: the memo only engages while every
+    entry in the pipeline matches exclusively on :data:`FLOW_KEY_FIELDS`
+    (re-checked, and the memo dropped, whenever any table's shared
+    generation cell moves), and a replayed decision re-applies the same
+    lookup/match statistics the skipped scan would have counted, so TPPs
+    reading ``[Stage$i:LookupPackets]`` observe identical values either way.
+    """
+
+    #: Bound on distinct memoized flows; the memo is cleared wholesale when
+    #: exceeded (flow populations in the reproduced experiments are small).
+    MEMO_LIMIT = 4096
+
+    __slots__ = ("pipeline", "_memo", "_generation", "_safe")
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+        # flow key -> (PipelineResult, consulted tables, matched table).
+        self._memo: dict[tuple, tuple] = {}
+        self._generation: Optional[int] = None
+        self._safe = False
+
+    def process(self, packet: Packet) -> PipelineResult:
+        pipeline = self.pipeline
+        generation = pipeline.generation[0]
+        if generation != self._generation:
+            self._generation = generation
+            self._memo.clear()
+            self._safe = all(
+                FLOW_KEY_FIELDS.issuperset(entry.match)
+                for stage in pipeline.stages
+                for entry in stage.table.entries)
+        if not self._safe:
+            return pipeline.process(packet)
+        key = packet.flow_key()
+        hit = self._memo.get(key)
+        if hit is not None:
+            result, consulted, matched_table = hit
+            size = packet.size
+            for table in consulted:
+                table.lookup_stats.count(size)
+            entry = result.matched_entry
+            if entry is not None:
+                entry.stats.count(size)
+                matched_table.match_stats.count(size)
+            return result
+        result = pipeline.process(packet)
+        stages = pipeline.stages
+        if result.action == "no_match":
+            consulted = tuple(stage.table for stage in stages if stage.table.entries)
+            matched_table = None
+        else:
+            consulted = tuple(stage.table
+                              for stage in stages[:result.matched_stage + 1]
+                              if stage.table.entries)
+            matched_table = stages[result.matched_stage].table
+        if len(self._memo) >= self.MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = (result, consulted, matched_table)
+        return result

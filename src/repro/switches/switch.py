@@ -60,6 +60,9 @@ class TPPSwitch(Node):
         self.tcpu = TCPU(write_enabled=write_enabled)
         self.parser = TPPParser()
         self.port_stats: list[PortStats] = []
+        # Same-flow forwarding memo (semantics-preserving; see pipeline docs).
+        self._lookup_cache = self.pipeline.lookup_cache()
+        self._fwd_name = f"fwd@{name}"
 
         # Drop visibility hook (§2.6: dropped packets can be sent to a collector).
         self.drop_callback: Optional[Callable[[Packet, "TPPSwitch"], None]] = None
@@ -114,39 +117,55 @@ class TPPSwitch(Node):
 
     # ------------------------------------------------------------- forwarding
     def receive(self, packet: Packet, in_port: Port) -> None:
+        self._receive_one(packet, in_port.index, PacketContext())
+
+    def receive_batch(self, packets: list[Packet], in_port: Port) -> None:
+        """Process a burst of packets arriving on one port in a single call.
+
+        The batched injection path: one :class:`PacketContext` is reused
+        across the whole burst (every field is rewritten per packet) and the
+        same-flow lookup memo turns back-to-back packets of one flow into a
+        single match-action scan.  Per-packet results, statistics, and any
+        events scheduled are identical to sequential :meth:`receive` calls.
+        """
+        context = PacketContext()
+        in_index = in_port.index
+        for packet in packets:
+            self._receive_one(packet, in_index, context)
+
+    def _receive_one(self, packet: Packet, in_index: int,
+                     context: PacketContext) -> None:
         packet.record_hop(self.name)
-        result = self.pipeline.process(packet)
+        result = self._lookup_cache.process(packet)
 
-        if result.action in ("drop", "no_match"):
-            self._drop(packet, reason=f"{result.action} at {self.name}")
-            return
-
-        if result.action == "group":
+        action = result.action
+        if action == "forward":
+            output_port = result.output_port
+        elif action == "group":
             output_port = self.group_table.select(result.group_id, packet)
         else:
-            output_port = result.output_port
+            self._drop(packet, reason=f"{action} at {self.name}")
+            return
         if output_port is None or not 0 <= output_port < len(self.ports):
             self._drop(packet, reason=f"invalid output port at {self.name}")
             return
 
-        context = PacketContext(
-            input_port=in_port.index,
-            output_port=output_port,
-            output_queue=0,
-            matched_entry_id=result.matched_entry.entry_id if result.matched_entry else 0,
-            matched_entry_version=result.matched_entry.version if result.matched_entry else 0,
-            matched_stage=result.matched_stage,
-            hop_number=packet.tpp.hop_number if packet.tpp is not None else 0,
-            path_id=packet.vlan,
-            packet_length=packet.size,
-            arrival_time=self.sim.now,
-        )
+        entry = result.matched_entry
+        context.input_port = in_index
+        context.output_port = output_port
+        context.output_queue = 0
+        context.matched_entry_id = entry.entry_id if entry else 0
+        context.matched_entry_version = entry.version if entry else 0
+        context.matched_stage = result.matched_stage
+        context.hop_number = packet.tpp.hop_number if packet.tpp is not None else 0
+        context.path_id = packet.vlan
+        context.packet_length = packet.size
+        context.arrival_time = self.sim.now
 
         if packet.tpp is not None and self.tpp_enabled:
-            parse = self.parser.parse(packet)
-            if parse.is_tpp:
+            if self.parser.classify(packet):
                 self.tpp_packets_seen += 1
-                self.tcpu.execute(packet.tpp, self.memory, context)
+                self.tcpu.execute_program(packet.tpp, self.memory, context)
                 packet.tpp.advance_hop()
                 # A TPP may have rewritten the packet's output port (Table 2
                 # marks it writable); honour the redirection.
@@ -169,7 +188,7 @@ class TPPSwitch(Node):
         self.packets_forwarded += 1
         if self.forwarding_latency_s > 0:
             self.sim.schedule(self.forwarding_latency_s, self._enqueue, packet, output_port,
-                              name=f"fwd@{self.name}")
+                              name=self._fwd_name)
         else:
             self._enqueue(packet, output_port)
 

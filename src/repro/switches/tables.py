@@ -60,6 +60,10 @@ class FlowTable:
         self.version = 1
         self.lookup_stats = StatsBlock()
         self.match_stats = StatsBlock()
+        # Mutation-detection cell: a pipeline points every stage table at one
+        # shared list, so flow-lookup memos can detect any table change by
+        # reading a single integer instead of re-hashing per-table versions.
+        self.generation: list[int] = [0]
 
     def install(self, entry: FlowEntry) -> FlowEntry:
         """Add an entry and bump the table version (monotonically increasing)."""
@@ -67,6 +71,7 @@ class FlowTable:
         self.entries.append(entry)
         self.entries.sort(key=lambda e: -e.priority)
         self.version += 1
+        self.generation[0] += 1
         return entry
 
     def remove(self, entry_id: int) -> bool:
@@ -74,6 +79,7 @@ class FlowTable:
         self.entries = [e for e in self.entries if e.entry_id != entry_id]
         if len(self.entries) != before:
             self.version += 1
+            self.generation[0] += 1
             return True
         return False
 
@@ -149,16 +155,38 @@ class Group:
 class GroupTable:
     """The switch's group table (§2.4 / OpenFlow §5.6.1)."""
 
+    #: Bound on the selection memo; cleared wholesale when exceeded.
+    MEMO_LIMIT = 4096
+
     def __init__(self) -> None:
         self.groups: dict[int, Group] = {}
+        # Every selection policy is a pure function of the packet's flow
+        # identity and the group's state, so per-flow decisions can be
+        # memoized.  Group is a plain mutable dataclass that install_group
+        # hands back to callers, so the group's state is part of the memo
+        # key — in-place mutations (ports/policy/salt) simply miss the memo
+        # instead of being served stale.  Invalidated on install.
+        self._memo: dict[tuple, int] = {}
 
     def install(self, group: Group) -> None:
         self.groups[group.group_id] = group
+        self._memo.clear()
 
     def select(self, group_id: int, packet: Packet) -> int:
-        if group_id not in self.groups:
+        group = self.groups.get(group_id)
+        if group is None:
             raise KeyError(f"group {group_id} is not installed")
-        return self.groups[group_id].select(packet)
+        if group.policy != "hash":
+            # vlan/dport selection is one modulo — cheaper than a memo probe.
+            return group.select(packet)
+        key = (group_id, group.salt, tuple(group.ports)) + packet.flow_key()
+        port = self._memo.get(key)
+        if port is None:
+            port = group.select(packet)
+            if len(self._memo) >= self.MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = port
+        return port
 
     def __contains__(self, group_id: int) -> bool:
         return group_id in self.groups

@@ -1,0 +1,267 @@
+"""Tests for the batched injection path and the same-flow lookup memos.
+
+The contract under test everywhere: batching is a *mechanical* fast path —
+results, statistics, and the executed event sequence must be identical to
+the equivalent per-packet calls.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_tpp
+from repro.endhost.dataplane import DataplaneShim
+from repro.endhost.filters import FilterEntry, PacketFilter
+from repro.net.link import mbps
+from repro.net.packet import udp_packet
+from repro.net.sim import Simulator
+from repro.net.topology import Network, build_dumbbell
+from repro.switches.pipeline import FlowLookupCache, Pipeline
+from repro.switches.tables import FlowEntry, Group, GroupTable
+
+
+def small_net():
+    sim = Simulator()
+    topo = build_dumbbell(sim, hosts_per_side=2, link_rate_bps=mbps(100))
+    return sim, topo.network
+
+
+def burst(src: str, dst: str, count: int, size: int = 700):
+    return [udp_packet(src, dst, size, dport=2000) for _ in range(count)]
+
+
+class TestHostSendMany:
+    def test_burst_matches_sequential_sends(self):
+        outcomes = []
+        for batched in (False, True):
+            sim, net = small_net()
+            h0, h3 = net.hosts["h0"], net.hosts["h3"]
+            h3.keep_received_log = True
+            packets = burst("h0", "h3", 12)
+            if batched:
+                assert h0.send_many(packets) == 12
+            else:
+                for packet in packets:
+                    assert h0.send(packet)
+            net.stop_switch_processes()
+            sim.run_until_idle()
+            outcomes.append((h3.packets_received, h0.packets_sent,
+                             sim.events_executed,
+                             [p.size for p in h3.received_log]))
+        assert outcomes[0] == outcomes[1]
+
+    def test_send_many_counts_only_accepted(self):
+        sim, net = small_net()
+        h0 = net.hosts["h0"]
+        h0.uplink_port.up = False
+        assert h0.send_many(burst("h0", "h3", 3)) == 0
+
+    def test_send_many_matches_loop_at_queue_capacity_boundary(self):
+        # Regression: an idle transmitter dequeues the burst's head before
+        # later packets hit the capacity check, so a burst one packet over
+        # capacity is fully accepted — exactly like a loop of send() calls.
+        outcomes = []
+        for batched in (False, True):
+            sim, net = small_net()
+            h0 = net.hosts["h0"]
+            packet_size = udp_packet("h0", "h3", 700).size
+            h0.uplink_port.queue.capacity_bytes = 3 * packet_size
+            packets = burst("h0", "h3", 4)
+            if batched:
+                accepted = h0.uplink_port.send_many(packets)
+            else:
+                accepted = sum(h0.uplink_port.send(p) for p in packets)
+            outcomes.append((accepted,
+                             h0.uplink_port.queue.packets_dropped_total))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[1] == (4, 0)
+
+    def test_port_send_many_drop_accounting_when_link_down(self):
+        sim, net = small_net()
+        h0 = net.hosts["h0"]
+        link = h0.uplink_port.link
+        link.set_down()
+        packets = burst("h0", "h3", 4)
+        assert h0.send_many(packets) == 0
+        assert all(p.dropped for p in packets)
+        assert h0.uplink_port.queue.packets_dropped_total == 4
+
+
+class TestLinkDeliverBurst:
+    def test_burst_delivery_and_accounting(self):
+        sim, net = small_net()
+        h0 = net.hosts["h0"]
+        uplink = h0.uplink_port
+        link = uplink.link
+        before_packets = link.total_packets
+        packets = burst("h0", "h3", 5)
+        delivered = link.deliver_burst(packets, uplink)
+        net.stop_switch_processes()
+        sim.run_until_idle()
+        assert delivered == 5
+        assert link.total_packets == before_packets + 5
+        assert uplink.peer.rx_packets >= 5
+        assert net.hosts["h3"].packets_received == 5
+
+    def test_burst_dropped_when_link_down(self):
+        sim, net = small_net()
+        uplink = net.hosts["h0"].uplink_port
+        uplink.link.set_down()
+        packets = burst("h0", "h3", 3)
+        assert uplink.link.deliver_burst(packets, uplink) == 0
+        assert all(p.dropped for p in packets)
+        assert uplink.queue.packets_dropped_total == 3
+
+    def test_burst_dropped_when_sending_port_admin_down(self):
+        sim, net = small_net()
+        uplink = net.hosts["h0"].uplink_port
+        uplink.up = False                        # port down, link itself up
+        packets = burst("h0", "h3", 3)
+        assert uplink.link.deliver_burst(packets, uplink) == 0
+        assert all(p.dropped for p in packets)
+        assert uplink.tx_packets == 0
+
+    def test_burst_to_down_peer_accounts_like_per_packet_path(self):
+        # Peer-side failure: tx/link counters stand (the burst left the
+        # port), the packets are lost with the per-packet path's reason,
+        # and no queue drop counters move — mirroring _deliver_to_peer.
+        sim, net = small_net()
+        uplink = net.hosts["h0"].uplink_port
+        uplink.peer.up = False
+        packets = burst("h0", "h3", 3)
+        assert uplink.link.deliver_burst(packets, uplink) == 0
+        assert all(p.drop_reason == "peer port down" for p in packets)
+        assert uplink.tx_packets == 3
+        assert uplink.link.total_packets == 3
+        assert uplink.peer.rx_packets == 0
+        assert uplink.queue.packets_dropped_total == 0
+
+
+class TestSwitchReceiveBatch:
+    def test_batch_matches_sequential_receives(self):
+        compiled = compile_tpp("PUSH [Switch:SwitchID]", num_hops=4)
+        outcomes = []
+        for batched in (False, True):
+            sim, net = small_net()
+            switch = net.switches["s0"]
+            in_port = net.hosts["h0"].uplink_port.peer
+            packets = burst("h0", "h3", 6)
+            for packet in packets:
+                packet.attach_tpp(compiled.clone_tpp())
+            if batched:
+                switch.receive_batch(packets, in_port)
+            else:
+                for packet in packets:
+                    switch.receive(packet, in_port)
+            net.stop_switch_processes()
+            sim.run_until_idle()
+            received = net.hosts["h3"].packets_received
+            hops = [p.tpp.hop_number for p in packets]
+            words = [p.tpp.pushed_words() for p in packets]
+            outcomes.append((received, hops, words, sim.events_executed,
+                             switch.packets_forwarded))
+        assert outcomes[0] == outcomes[1]
+        # Both switches executed the TPP: two pushed switch ids per packet.
+        assert all(len(words) == 2 for words in outcomes[1][2])
+
+
+class TestFlowLookupCache:
+    def _pipeline_with_routes(self):
+        pipeline = Pipeline(num_stages=2)
+        pipeline.forwarding_table.install(
+            FlowEntry(match={"dst": "h1"}, action="forward", output_port=1))
+        pipeline.forwarding_table.install(
+            FlowEntry(match={"dst": "h2"}, action="forward", output_port=2))
+        return pipeline
+
+    def test_memo_hits_match_full_scans(self):
+        reference = self._pipeline_with_routes()
+        cached = self._pipeline_with_routes()
+        cache = cached.lookup_cache()
+        packets = (burst("h0", "h1", 4) + burst("h0", "h2", 3)
+                   + burst("h0", "h1", 2))
+        for packet in packets:
+            expect = reference.process(packet)
+            got = cache.process(packet)
+            assert (got.action, got.output_port) == (expect.action, expect.output_port)
+            assert got.matched_entry.entry_id is not None
+        ref_table = reference.forwarding_table
+        got_table = cached.forwarding_table
+        assert got_table.lookup_stats.packets == ref_table.lookup_stats.packets
+        assert got_table.lookup_stats.bytes == ref_table.lookup_stats.bytes
+        assert got_table.match_stats.packets == ref_table.match_stats.packets
+        per_entry = lambda table: [e.stats.packets for e in table.entries]
+        assert per_entry(got_table) == per_entry(ref_table)
+
+    def test_table_change_invalidates_memo(self):
+        pipeline = self._pipeline_with_routes()
+        cache = pipeline.lookup_cache()
+        packet = udp_packet("h0", "h1", 100)
+        assert cache.process(packet).output_port == 1
+        pipeline.forwarding_table.install(
+            FlowEntry(match={"dst": "h1"}, action="forward", output_port=7,
+                      priority=10))
+        assert cache.process(udp_packet("h0", "h1", 100)).output_port == 7
+
+    def test_non_flow_field_entry_disables_memo(self):
+        pipeline = self._pipeline_with_routes()
+        # An entry matching on a non-flow attribute (packet size) makes
+        # memoization unsafe; the cache must fall back to full scans.
+        pipeline.forwarding_table.install(
+            FlowEntry(match={"size": 842}, action="drop", priority=99))
+        cache = pipeline.lookup_cache()
+        small = udp_packet("h0", "h1", 100)
+        big = udp_packet("h0", "h1", 800)   # same flow key, 842B on the wire
+        assert cache.process(small).action == "forward"
+        assert cache.process(big).action == "drop"
+
+    def test_process_batch_equals_per_packet(self):
+        reference = self._pipeline_with_routes()
+        batched = self._pipeline_with_routes()
+        packets = burst("h0", "h1", 5) + burst("h0", "h2", 5)
+        expect = [reference.process(p) for p in packets]
+        got = batched.process_batch(packets)
+        assert [(r.action, r.output_port) for r in got] == \
+               [(r.action, r.output_port) for r in expect]
+
+
+class TestGroupSelectionMemo:
+    def test_memoized_selection_is_stable_and_invalidated(self):
+        table = GroupTable()
+        table.install(Group(group_id=1, ports=[0, 1, 2], policy="hash"))
+        packets = [udp_packet("a", "b", 100, sport=s) for s in (1, 2, 3, 1, 2)]
+        first = [table.select(1, p) for p in packets]
+        second = [table.select(1, p) for p in packets]
+        assert first == second
+        table.install(Group(group_id=1, ports=[5], policy="hash"))
+        assert table.select(1, packets[0]) == 5
+
+    def test_in_place_group_mutation_is_never_served_stale(self):
+        table = GroupTable()
+        group = table.groups.setdefault(
+            1, Group(group_id=1, ports=[0, 1], policy="vlan"))
+        packet = udp_packet("a", "b", 100)
+        packet.vlan = 1
+        assert table.select(1, packet) == 1      # memo populated
+        group.ports = [7]                        # caller mutates in place
+        assert table.select(1, packet) == 7      # state is part of the key
+
+
+class TestShimBurst:
+    def test_send_burst_stamps_and_counts(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("s")
+        net.connect("a", "s", rate_bps=mbps(100))
+        net.connect("b", "s", rate_bps=mbps(100))
+        net.install_shortest_path_routes()
+        shim = DataplaneShim(net.hosts["a"])
+        compiled = compile_tpp("PUSH [Switch:SwitchID]", num_hops=4)
+        shim.install_filter(FilterEntry(filter=PacketFilter(protocol="udp"),
+                                        app_id=1, tpp_template=compiled,
+                                        sample_frequency=2))
+        sent = shim.send_burst(burst("a", "b", 8))
+        assert sent == 8
+        assert shim.bursts_sent == 1
+        # Deterministic 1-in-2 sampling stamps exactly half the burst.
+        assert shim.tpps_attached == 4

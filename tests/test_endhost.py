@@ -334,3 +334,40 @@ class TestDeploymentFramework:
         assert set(deployed.aggregators) == {"h5"}
         assert len(stacks["h1"].shim.filters) == 0
         assert len(stacks["h0"].shim.filters) == 1
+
+
+class TestAggregatorTruncationDetection:
+    def test_out_of_room_tpps_are_counted_separately(self):
+        from repro.core.isa import Instruction, Opcode
+        from repro.core.packet_format import AddressingMode, make_tpp
+
+        aggregator = Aggregator("h0")
+        fine = make_tpp([Instruction(Opcode.LOAD, 0x0000, packet_offset=0)],
+                        num_hops=4, mode=AddressingMode.HOP)
+        fine.hop_number = 4                      # exactly filled, nothing lost
+        truncated = make_tpp([Instruction(Opcode.LOAD, 0x0000, packet_offset=0)],
+                             num_hops=4, mode=AddressingMode.HOP)
+        truncated.hop_number = 6                 # visited more hops than it can hold
+        aggregator.on_tpp(fine, udp_packet("a", "h0", 100))
+        aggregator.on_tpp(truncated, udp_packet("a", "h0", 100))
+        assert aggregator.tpps_received == 2
+        assert aggregator.tpps_truncated == 1
+        summary = aggregator.summarize()
+        assert summary["tpps_truncated"] == 1
+
+    def test_stack_tpp_out_of_room_only_past_capacity(self):
+        tpp = compile_tpp("PUSH [Switch:SwitchID]", num_hops=2).tpp
+        assert not tpp.out_of_room
+        tpp.hop_number = 2                       # exactly filled: nothing lost
+        tpp.stack_pointer = len(tpp.memory)
+        assert not tpp.out_of_room
+        tpp.hop_number = 3                       # one hop could not record
+        assert tpp.out_of_room
+
+    def test_stack_tpp_with_skipped_pushes_not_misreported(self):
+        # Hops whose PUSH was skipped for *missing switch memory* leave free
+        # room behind; visiting many hops must not count as truncation.
+        tpp = compile_tpp("PUSH [Switch:SwitchID]", num_hops=4).tpp
+        tpp.hop_number = 6                       # visited 6 switches...
+        tpp.stack_pointer = 3 * tpp.word_bytes   # ...but only 3 had the stat
+        assert not tpp.out_of_room

@@ -44,6 +44,21 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             Simulator().schedule(-0.1, lambda: None)
 
+    def test_nan_delay_rejected_with_accurate_message(self):
+        with pytest.raises(SimulationError, match="NaN delay"):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        with pytest.raises(SimulationError, match="infinite"):
+            Simulator().schedule(float("inf"), lambda: None)
+
+    def test_nan_and_inf_absolute_times_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.schedule_at(float("nan"), lambda: None)
+        with pytest.raises(SimulationError, match="infinite"):
+            sim.schedule_at(float("inf"), lambda: None)
+
     def test_schedule_in_the_past_rejected(self):
         sim = Simulator()
         sim.schedule(1.0, lambda: None)
@@ -85,6 +100,139 @@ class TestCancellation:
         doomed.cancel()
         sim.run_until_idle()
         assert fired == ["keep1", "keep2"]
+
+
+class TestScheduleMany:
+    def test_burst_runs_in_time_then_fifo_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.15, order.append, "solo")
+        events = sim.schedule_many([
+            (0.2, order.append, ("b1",)),
+            (0.1, order.append, ("a",)),
+            (0.2, order.append, ("b2",)),
+        ])
+        assert len(events) == 3
+        sim.run_until_idle()
+        assert order == ["a", "solo", "b1", "b2"]
+
+    def test_burst_matches_sequential_schedules(self):
+        loop_order, batch_order = [], []
+        specs = [(0.01 * (i % 5), i) for i in range(50)]
+        sim = Simulator()
+        for delay, tag in specs:
+            sim.schedule(delay, loop_order.append, tag)
+        sim.run_until_idle()
+        sim2 = Simulator()
+        sim2.schedule_many([(delay, batch_order.append, (tag,))
+                            for delay, tag in specs])
+        sim2.run_until_idle()
+        assert batch_order == loop_order
+
+    def test_burst_events_are_cancellable(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_many([(0.1, fired.append, (i,)) for i in range(4)])
+        events[1].cancel()
+        events[2].cancel()
+        sim.run_until_idle()
+        assert fired == [0, 3]
+
+    def test_burst_validates_delays(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_many([(0.1, lambda: None), (-1.0, lambda: None)])
+
+
+class TestHeapHygiene:
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        doomed.cancel()
+        assert sim.pending_events == 1
+
+    def test_mass_periodic_stop_compacts_heap(self):
+        sim = Simulator()
+        processes = [sim.schedule_periodic(1.0, lambda: None) for _ in range(200)]
+        assert sim.pending_events == 200
+        for process in processes:
+            process.stop()
+        assert sim.pending_events == 0
+        # Lazy deletion must not leave the heap dominated by dead entries.
+        assert sim.heap_size <= 200 // 2
+        assert sim.cancelled_events_pending == sim.heap_size
+
+    def test_compaction_preserves_execution_order(self):
+        sim = Simulator()
+        order = []
+        events = [sim.schedule(0.01 * (i + 1), order.append, i) for i in range(100)]
+        for event in events[::2]:
+            event.cancel()            # triggers compaction part-way through
+        sim.run_until_idle()
+        assert order == list(range(1, 100, 2))
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.cancelled_events_pending in (0, 1)   # compaction may have run
+        assert sim.pending_events == 0
+
+    def test_cancellation_inside_callback_keeps_later_events(self):
+        # Regression: compaction rebinds must happen in place — events
+        # scheduled after a mid-run compaction must still execute.
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(0.5, fired.append, f"dead{i}") for i in range(100)]
+
+        def cancel_all_then_reschedule():
+            for event in doomed:
+                event.cancel()          # drives cancelled > half the heap
+            sim.schedule(0.1, fired.append, "late")
+
+        sim.schedule(0.1, cancel_all_then_reschedule)
+        sim.run_until_idle()
+        assert fired == ["late"]
+
+    def test_cancel_of_executed_event_does_not_corrupt_accounting(self):
+        # Regression: a periodic process stopping itself from its own
+        # callback cancels the event that is currently executing (already
+        # popped); the dead-entry counter must not move.
+        sim = Simulator()
+        fired = []
+        holder = {}
+
+        def tick():
+            fired.append(sim.now)
+            holder["process"].stop()             # cancels the in-flight event
+
+        holder["process"] = sim.schedule_periodic(0.1, tick)
+        sim.run_until_idle()
+        assert len(fired) == 1
+        assert sim.pending_events == 0
+        assert sim.cancelled_events_pending == 0
+
+    def test_cancel_after_reset_does_not_corrupt_accounting(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.reset()
+        event.cancel()
+        assert sim.pending_events == 0
+        assert sim.cancelled_events_pending == 0
+
+    def test_run_until_ignores_cancelled_head_beyond_limit(self):
+        # Regression: a cancelled event ahead of the time limit must not let
+        # a live event *past* the limit execute.
+        sim = Simulator()
+        fired = []
+        doomed = sim.schedule(0.5, fired.append, "dead")
+        sim.schedule(5.0, fired.append, "late")
+        doomed.cancel()
+        sim.run(until=1.0)
+        assert fired == []
+        assert sim.now == pytest.approx(1.0)
+        assert sim.pending_events == 1
 
 
 class TestRunLimits:

@@ -75,7 +75,8 @@ class TestPushPop:
         tpp = make_tpp([Instruction(Opcode.POP, 0x1010)], num_hops=1)
         tpp.stack_pointer = len(tpp.memory)
         result = TCPU().execute(tpp, DictMemory({0x1010: 0}), PacketContext())
-        assert result.statuses == [InstructionStatus.SKIPPED_NO_MEMORY]
+        assert result.statuses == [InstructionStatus.SKIPPED_PACKET_FULL]
+        assert result.packet_full
 
 
 class TestLoadStore:
@@ -187,6 +188,147 @@ class TestCExec:
         tpp = self._cexec_tpp(mask=0x00FF, value=0x0042)
         result = TCPU().execute(tpp, memory, PacketContext())
         assert not result.halted
+
+
+class TestPacketFullStatus:
+    """§3.3 graceful failure: 'packet ran out of room' is distinct from
+    'switch lacks the address'."""
+
+    def test_push_onto_full_stack_reports_packet_full(self):
+        from repro.core import addressing
+        address = addressing.resolve("[Switch:SwitchID]")
+        tpp = make_tpp([Instruction(Opcode.PUSH, address)], num_hops=1)
+        tpp.stack_pointer = len(tpp.memory)     # no room left
+        result = TCPU().execute(tpp, DictMemory({address: 7}), PacketContext())
+        assert result.statuses == [InstructionStatus.SKIPPED_PACKET_FULL]
+        assert result.packet_full
+        assert not result.halted                # still forwarded gracefully
+
+    def test_push_missing_address_still_reports_no_memory(self):
+        tpp, result = run("PUSH [Switch:SwitchID]", DictMemory({}))
+        assert result.statuses == [InstructionStatus.SKIPPED_NO_MEMORY]
+        assert not result.packet_full
+
+    def test_load_past_per_hop_memory_reports_packet_full(self):
+        memory = DictMemory({0x0000: 9})
+        instructions = [Instruction(Opcode.LOAD, 0x0000, packet_offset=0)]
+        tpp = make_tpp(instructions, num_hops=2, mode=AddressingMode.HOP)
+        tpp.hop_number = 5                       # past the 2 preallocated hops
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert result.statuses == [InstructionStatus.SKIPPED_PACKET_FULL]
+
+    def test_store_past_per_hop_memory_reports_packet_full(self):
+        memory = DictMemory({0x1010: 0})
+        tpp = make_tpp([Instruction(Opcode.STORE, 0x1010, packet_offset=0)],
+                       num_hops=1, mode=AddressingMode.HOP, initial_values=[5])
+        tpp.hop_number = 3
+        result = TCPU().execute(tpp, memory, PacketContext())
+        assert result.statuses == [InstructionStatus.SKIPPED_PACKET_FULL]
+        assert memory.values[0x1010] == 0        # nothing written
+
+
+class TestWriteDisabledConditionals:
+    """§3.3.3: even a suppressed CSTORE must leave the observed value in the
+    packet; CEXEC has no store half and keeps gating."""
+
+    def _cstore_tpp(self, old, new):
+        return make_tpp([Instruction(Opcode.CSTORE, 0x1010, packet_offset=0),
+                         Instruction(Opcode.STORE, 0x1011, packet_offset=2)],
+                        num_hops=1, mode=AddressingMode.HOP, values_per_hop=3,
+                        initial_values=[old, new, 777])
+
+    def test_cstore_suppressed_but_observed_value_written_back(self):
+        memory = DictMemory({0x1010: 10, 0x1011: 0})
+        tpp = self._cstore_tpp(old=10, new=11)
+        result = TCPU(write_enabled=False).execute(tpp, memory, PacketContext())
+        assert result.statuses[0] is InstructionStatus.SKIPPED_WRITE_DISABLED
+        assert memory.values[0x1010] == 10       # swap suppressed
+        assert tpp.read_hop_word(0) == 10        # observed value written back
+        assert not result.wrote_switch_memory
+
+    def test_cstore_mismatch_with_writes_disabled_still_halts(self):
+        memory = DictMemory({0x1010: 99, 0x1011: 0})
+        tpp = self._cstore_tpp(old=10, new=11)
+        result = TCPU(write_enabled=False).execute(tpp, memory, PacketContext())
+        assert result.halted
+        assert tpp.read_hop_word(0) == 99        # observed value written back
+        assert result.statuses[1] is InstructionStatus.SKIPPED_HALTED
+
+    def test_cexec_still_gates_when_writes_disabled(self):
+        cexec = [Instruction(Opcode.CEXEC, 0x0000, packet_offset=0),
+                 Instruction(Opcode.LOAD, 0x0004, packet_offset=2)]
+        # Matching predicate: execution continues to the LOAD.
+        memory = DictMemory({0x0000: 0x42, 0x0004: 1234})
+        tpp = make_tpp(cexec, num_hops=1, mode=AddressingMode.HOP,
+                       values_per_hop=3, initial_values=[0xFFFF, 0x42, 0])
+        result = TCPU(write_enabled=False).execute(tpp, memory, PacketContext())
+        assert not result.halted
+        assert tpp.read_hop_word(2) == 1234
+        # Non-matching predicate: halts exactly as with writes enabled.
+        tpp2 = make_tpp(cexec, num_hops=1, mode=AddressingMode.HOP,
+                        values_per_hop=3, initial_values=[0xFFFF, 0x41, 0])
+        result2 = TCPU(write_enabled=False).execute(tpp2, memory, PacketContext())
+        assert result2.halted
+
+
+class MetadataMemory:
+    """MemoryInterface over PacketMetadata only (for word-size tests)."""
+
+    def read(self, address, context):
+        from repro.core import addressing
+        decoded = addressing.decode(address)
+        if decoded.region == "packet_metadata":
+            return context.metadata_word(decoded.field_offset)
+        return None
+
+    def write(self, address, value, context):
+        return False
+
+
+class TestMetadataWordMask:
+    def test_timestamp_masked_to_tpp_word_size(self):
+        from repro.core import addressing
+        address = addressing.resolve("[PacketMetadata:ArrivalTimestamp]")
+        context = PacketContext(arrival_time=1.0)        # 1e6 us = 0xF4240
+        for word_bytes, expected in ((2, 0xF4240 & 0xFFFF), (4, 0xF4240)):
+            tpp = make_tpp([Instruction(Opcode.PUSH, address)],
+                           num_hops=1, word_bytes=word_bytes)
+            TCPU().execute(tpp, MetadataMemory(), context)
+            assert tpp.pushed_words() == [expected]
+
+    def test_load_masks_to_word_size_too(self):
+        from repro.core import addressing
+        address = addressing.resolve("[PacketMetadata:ArrivalTimestamp]")
+        context = PacketContext(arrival_time=1.0)
+        tpp = make_tpp([Instruction(Opcode.LOAD, address, packet_offset=0)],
+                       num_hops=1, mode=AddressingMode.HOP, word_bytes=2)
+        TCPU().execute(tpp, MetadataMemory(), context)
+        assert tpp.read_hop_word(0) == 0xF4240 & 0xFFFF
+
+
+class TestExecuteProgramFastPath:
+    def test_results_identical_to_execute(self):
+        from repro.core import addressing
+        a = addressing.resolve("[Switch:SwitchID]")
+        b = addressing.resolve("[Switch:VersionNumber]")
+        source = "PUSH [Switch:SwitchID]\nPUSH [Switch:VersionNumber]"
+        slow_tpp = compile_tpp(source).tpp
+        fast_tpp = compile_tpp(source).tpp
+        tcpu = TCPU()
+        slow = tcpu.execute(slow_tpp, DictMemory({a: 5, b: 9}), PacketContext())
+        fast = tcpu.execute_program(fast_tpp, DictMemory({a: 5, b: 9}), PacketContext())
+        assert slow.statuses == fast.statuses
+        assert slow_tpp.pushed_words() == fast_tpp.pushed_words()
+
+    def test_clones_share_one_cached_plan(self):
+        from repro.core import addressing
+        a = addressing.resolve("[Switch:SwitchID]")
+        tcpu = TCPU()
+        template = compile_tpp("PUSH [Switch:SwitchID]").tpp
+        for _ in range(5):
+            tcpu.execute_program(template.clone(), DictMemory({a: 1}), PacketContext())
+        assert len(tcpu._plan_cache) == 1
+        assert tcpu.tpps_executed == 5
 
 
 class TestPacketContext:
