@@ -7,10 +7,11 @@ itself — ``Simulator.run`` → ``Port`` transmit state machine →
 so regressions in the hot path show up as a number, not a feeling.
 
 Workload: a 3-tier fat-tree (k=4: core, aggregation, edge — 20 switches,
-16 hosts).  Every host runs a dataplane shim that stamps each UDP packet
-with a two-instruction TPP (``PUSH [Switch:SwitchID]`` /
-``PUSH [Queue:QueueOccupancy]``), and sends periodic bursts to a cross-pod
-partner through the batched injection path
+16 hosts), composed through the :class:`repro.session.Scenario` API: every
+host's end-host shim stamps each UDP packet with a two-instruction TPP
+(``PUSH [Switch:SwitchID]`` / ``PUSH [Queue:QueueOccupancy]``), and the
+registered ``cross-pod-bursts`` workload sends periodic bursts to a
+cross-pod partner through the batched injection path
 (:meth:`repro.endhost.dataplane.DataplaneShim.send_burst`).  Reported:
 
 * **events/sec** — discrete events executed per wall-clock second,
@@ -33,53 +34,30 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.core.compiler import compile_tpp
-from repro.endhost.dataplane import DataplaneShim
-from repro.endhost.filters import FilterEntry, PacketFilter
+from repro.endhost.filters import PacketFilter
 from repro.net.link import gbps
-from repro.net.packet import udp_packet
-from repro.net.sim import Simulator
-from repro.net.topology import build_fat_tree
+from repro.session import Scenario
 
 #: Packets per burst and burst cadence per host.
 BURST_PACKETS = 8
 BURST_INTERVAL_S = 100e-6
 PAYLOAD_BYTES = 700
-APP_ID = 1
 
 TPP_SOURCE = "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueOccupancy]"
 
 
 def build_workload(use_batch: bool = True):
-    """The 3-tier topology plus per-host burst generators."""
-    sim = Simulator()
-    topo = build_fat_tree(sim, k=4, link_rate_bps=gbps(1), link_delay_s=5e-6)
-    net = topo.network
-    hosts = [net.hosts[name] for name in topo.host_names]
-    compiled = compile_tpp(TPP_SOURCE, num_hops=8)
-
-    shims = []
-    for host in hosts:
-        shim = DataplaneShim(host)
-        shim.install_filter(FilterEntry(filter=PacketFilter(protocol="udp"),
-                                        app_id=APP_ID, tpp_template=compiled))
-        shims.append(shim)
-
-    n = len(hosts)
-    for i, (host, shim) in enumerate(zip(hosts, shims)):
-        partner = hosts[(i + n // 2) % n].name
-
-        def burst(host=host, shim=shim, partner=partner):
-            packets = [udp_packet(host.name, partner, PAYLOAD_BYTES, dport=2000)
-                       for _ in range(BURST_PACKETS)]
-            if use_batch:
-                shim.send_burst(packets)
-            else:
-                for packet in packets:
-                    host.send(packet)
-
-        sim.schedule_periodic(BURST_INTERVAL_S, burst)
-    return sim, net
+    """The 3-tier topology plus per-host burst generators, via one Scenario."""
+    experiment = (
+        Scenario("fat-tree", seed=1, name="event-throughput",
+                 k=4, link_rate_bps=gbps(1), link_delay_s=5e-6)
+        .tpp("event-throughput", TPP_SOURCE, num_hops=8,
+             filter=PacketFilter(protocol="udp"))
+        .workload("cross-pod-bursts", burst_packets=BURST_PACKETS,
+                  burst_interval_s=BURST_INTERVAL_S, payload_bytes=PAYLOAD_BYTES,
+                  use_batch=use_batch)
+        .build())
+    return experiment.sim, experiment.network
 
 
 def run_once(duration_s: float, use_batch: bool = True) -> dict:

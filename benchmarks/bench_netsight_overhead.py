@@ -10,31 +10,34 @@ the arithmetic.
 
 import pytest
 
-from repro.apps.netsight import (deploy_netsight, history_bandwidth_overhead,
-                                 history_from_tpp, history_overhead_bytes,
-                                 packet_history_tpp)
-from repro.endhost import Collector, install_stacks
-from repro.net import Simulator, build_dumbbell, mbps, udp_packet
+from repro.apps.netsight import (NetSightAggregator, PACKET_HISTORY_TPP_SOURCE,
+                                 history_bandwidth_overhead, history_from_tpp,
+                                 history_overhead_bytes, packet_history_tpp)
+from repro.net import mbps, udp_packet
+from repro.session import Scenario
 from repro.stats import ExperimentSummary
 
 
 @pytest.fixture(scope="module")
 def deployment_measurement():
     """Send 200 one-thousand-byte packets with packet-history TPPs attached."""
-    sim = Simulator()
-    topo = build_dumbbell(sim, link_rate_bps=mbps(10))
-    stacks = install_stacks(topo.network)
-    deployed = deploy_netsight(stacks, Collector(), num_hops=10)
-    sender = topo.network.hosts["h0"]
-    baseline_bytes = 0
-    for i in range(200):
-        packet = udp_packet("h0", "h5", 958, dport=4000 + (i % 8))   # 1000 B on the wire
-        baseline_bytes += packet.size
-        sender.send(packet)
-    sim.run(until=2.0)
-    topo.network.stop_switch_processes()
-    wire_bytes = sender.bytes_sent
-    histories = sum(len(agg.store) for agg in deployed.aggregators.values())
+    def inject(experiment):
+        sender = experiment.host("h0")
+        baseline_bytes = 0
+        for i in range(200):
+            packet = udp_packet("h0", "h5", 958, dport=4000 + (i % 8))  # 1000 B on wire
+            baseline_bytes += packet.size
+            sender.send(packet)
+        experiment.extras["baseline_bytes"] = baseline_bytes
+
+    result = (Scenario("dumbbell", link_rate_bps=mbps(10))
+              .tpp("netsight", PACKET_HISTORY_TPP_SOURCE, num_hops=10,
+                   aggregator=NetSightAggregator)
+              .setup(inject)
+              .run(duration_s=2.0))
+    baseline_bytes = result.extras["baseline_bytes"]
+    wire_bytes = result.network.hosts["h0"].bytes_sent
+    histories = sum(len(agg.store) for agg in result.aggregators("netsight").values())
     return {"overhead_fraction": (wire_bytes - baseline_bytes) / baseline_bytes,
             "histories": histories}
 

@@ -10,10 +10,9 @@ per-server memory for a k=64 fat tree should be about 8 MB.
 import pytest
 
 from repro.apps.sketches import (BitmapSketch, LinkMonitoringService,
-                                 deploy_sketch_application, sketch_memory_projection,
+                                 sketch_memory_projection, sketch_scenario,
                                  sketch_tpp)
-from repro.endhost import install_stacks
-from repro.net import Simulator, build_leaf_spine, mbps, udp_packet
+from repro.net import mbps
 from repro.stats import ExperimentSummary
 
 BITS = 1024
@@ -22,24 +21,10 @@ BITS = 1024
 @pytest.fixture(scope="module")
 def sketch_run():
     """All-to-all single packets over a leaf-spine; sketch vs exact per core link."""
-    sim = Simulator()
-    topo = build_leaf_spine(sim, num_leaves=4, num_spines=2, hosts_per_leaf=4,
-                            link_rate_bps=mbps(50))
-    network = topo.network
-    stacks = install_stacks(network)
-    service = LinkMonitoringService(bits=BITS)
-    deployed = deploy_sketch_application(stacks, service, bits=BITS, key_field="src")
-
-    hosts = topo.host_names
-    for src in hosts:
-        for dst in hosts:
-            if src != dst:
-                network.hosts[src].send(udp_packet(src, dst, 300, dport=9999))
-    sim.run(until=1.0)
-    network.stop_switch_processes()
-    deployed.push_all_summaries()
-    return {"service": service, "deployed": deployed, "hosts": hosts,
-            "network": network}
+    result = sketch_scenario(num_leaves=4, num_spines=2, hosts_per_leaf=4,
+                             link_rate_bps=mbps(50), bits=BITS,
+                             key_field="src").run(duration_s=1.0)
+    return {"service": result.service, "result": result}
 
 
 def test_sketch_cardinality(benchmark, sketch_run, print_summary):

@@ -7,14 +7,21 @@ pinned by a hash and the shared path saturates; with CONGA* the sending hosts
 probe both paths with TPPs every couple of milliseconds and steer flowlets to
 the less utilised one, meeting both demands at lower peak utilisation.
 
+Both runs come from the same :func:`repro.apps.conga.conga_scenario` session —
+only the ``scheme`` argument changes, which is the paper's point: the network
+config is identical, the intelligence lives at the edge.
+
 Run with:  python examples/conga_load_balancing.py
 """
 
-from repro.apps.conga import run_conga_experiment
+import os
+
+from repro.apps.conga import conga_scenario
 from repro.baselines.ecmp import expected_figure4_conga, expected_figure4_ecmp
 from repro.net import mbps
 
 LINK_RATE = mbps(10)
+DURATION_SCALE = float(os.environ.get("REPRO_DURATION_SCALE", "1"))
 
 
 def report(result, analytic) -> None:
@@ -31,14 +38,16 @@ def report(result, analytic) -> None:
 
 
 def main() -> None:
-    demands = dict(demand_l0_fraction=0.5, demand_l1_fraction=1.2)
+    demands = dict(demand_l0_fraction=0.5, demand_l1_fraction=1.2,
+                   warmup_s=2.0 * DURATION_SCALE)
+    duration = 8.0 * DURATION_SCALE
     print("running ECMP baseline...")
-    ecmp = run_conga_experiment("ecmp", duration_s=8.0, link_rate_bps=LINK_RATE, **demands)
+    ecmp = conga_scenario("ecmp", link_rate_bps=LINK_RATE, **demands).run(duration_s=duration)
     print("=== ECMP ===")
     report(ecmp, expected_figure4_ecmp(LINK_RATE, 0.5 * LINK_RATE, 1.2 * LINK_RATE))
 
     print("running CONGA* (TPP path probing + flowlet steering)...")
-    conga = run_conga_experiment("conga", duration_s=8.0, link_rate_bps=LINK_RATE, **demands)
+    conga = conga_scenario("conga", link_rate_bps=LINK_RATE, **demands).run(duration_s=duration)
     print("=== CONGA* ===")
     report(conga, expected_figure4_conga(LINK_RATE, 0.5 * LINK_RATE, 1.2 * LINK_RATE))
 

@@ -1,25 +1,32 @@
 #!/usr/bin/env python3
 """Micro-burst detection (§2.1 / Figure 1): per-packet queue visibility.
 
-Reproduces the Figure 1 experiment: six hosts on a dumbbell exchange 10 kB
-messages at 30 % offered load, every packet carries the queue-occupancy TPP,
-and the receivers' samples are aggregated into per-queue distributions.  The
+Reproduces the Figure 1 experiment through the Scenario session API:
+:func:`repro.apps.microburst.microburst_scenario` composes a six-host
+dumbbell, the queue-occupancy TPP on every packet, and the 10 kB-message
+workload at 30 % offered load; ``.run()`` hands back a
+:class:`MicroburstResult` with the merged per-queue distributions.  The
 output is the textual version of Figure 1b — a CDF summary and a short time
-series excerpt for the busiest queue — plus the contrast with what a 1-second
-polling monitor would have seen.
+series excerpt for the busiest queue — plus the contrast with what a
+1-second polling monitor would have seen.
 
 Run with:  python examples/microburst_monitoring.py
 """
 
-from repro.apps.microburst import run_microburst_experiment
+import os
+
+from repro.apps.microburst import microburst_scenario
 from repro.net import mbps
 from repro.stats import fractiles
+
+DURATION_SCALE = float(os.environ.get("REPRO_DURATION_SCALE", "1"))
 
 
 def main() -> None:
     print("running the Figure 1 workload (this takes a few seconds)...\n")
-    result = run_microburst_experiment(duration_s=1.5, link_rate_bps=mbps(10),
-                                       offered_load=0.3, message_bytes=10_000, seed=1)
+    scenario = microburst_scenario(link_rate_bps=mbps(10), offered_load=0.3,
+                                   message_bytes=10_000, seed=1)
+    result = scenario.run(duration_s=1.5 * DURATION_SCALE)
 
     print(f"messages sent:        {result.messages_sent}")
     print(f"instrumented packets: {result.packets_instrumented}")

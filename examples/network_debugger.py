@@ -3,38 +3,47 @@
 
 This example plays the role of the operator in the paper's introduction:
 
-1. deploy NetSight-style packet-history collection on every host,
+1. compose a leaf-spine fabric with NetSight-style packet-history collection
+   as one Scenario, and keep the live :class:`~repro.session.Experiment`
+   (``.build()`` instead of ``.run()``) so the fault can be injected mid-run,
 2. install a *deliberately wrong* forwarding entry on one switch,
 3. let netwatch catch the policy violation and use the ndb-style query
    interface to pinpoint exactly where the misrouted packets diverged,
-4. fail a fabric link and use path probes to measure how long forwarding
-   takes to converge onto the backup route — per-packet path visibility makes
-   this direct to observe.
+4. fail a fabric link and let :func:`run_route_verification_experiment`
+   measure how long forwarding takes to converge onto the backup route —
+   per-packet path visibility makes this direct to observe.
 
 Run with:  python examples/network_debugger.py
 """
 
-from repro.apps.netsight import NetWatch, deploy_netsight
-from repro.apps.netverify import PATH_TPP_SOURCE, RouteVerifier, observation_from_tpp
-from repro.core import compile_tpp
-from repro.endhost import Collector, install_stacks
-from repro.net import Simulator, build_leaf_spine, mbps, udp_packet
+import os
+
+from repro.apps.netsight import (NetSightAggregator, NetWatch,
+                                 PACKET_HISTORY_TPP_SOURCE)
+from repro.apps.netverify import RouteVerifier, run_route_verification_experiment
+from repro.net import mbps, udp_packet
+from repro.session import Scenario
+
+DURATION_SCALE = float(os.environ.get("REPRO_DURATION_SCALE", "1"))
 
 
 def main() -> None:
-    sim = Simulator()
-    topo = build_leaf_spine(sim, num_leaves=2, num_spines=2, hosts_per_leaf=2,
-                            link_rate_bps=mbps(10))
-    network = topo.network
-    stacks = install_stacks(network)
-    src, victim, dst = "h0_0", "h0_1", "h1_1"
-
-    # --- 1. packet-history collection + a waypoint policy -------------------
+    # --- 1. fabric + packet-history collection + a waypoint policy ----------
     watch = NetWatch()
+
+    def aggregator(host_name, collector):
+        return NetSightAggregator(host_name, collector, netwatch=watch)
+
+    experiment = (Scenario("leaf-spine", seed=1, num_leaves=2, num_spines=2,
+                           hosts_per_leaf=2, link_rate_bps=mbps(10))
+                  .tpp("netsight", PACKET_HISTORY_TPP_SOURCE, num_hops=10,
+                       aggregator=aggregator)
+                  .build())
+    network, sim = experiment.network, experiment.sim
+    src, victim, dst = "h0_0", "h0_1", "h1_1"
     leaf1_id = network.switches["leaf1"].switch_id
     watch.add_waypoint_policy("cross-fabric traffic must reach leaf1", "h0_",
                               waypoint_switch=leaf1_id)
-    deployed = deploy_netsight(stacks, Collector(), netwatch=watch)
 
     # --- 2. a misconfiguration: leaf0 bounces dst-bound packets to a local host
     wrong_port = network.ports_towards("leaf0", victim)[0]
@@ -44,7 +53,7 @@ def main() -> None:
         network.hosts[src].send(udp_packet(src, dst, 600, dport=5000 + i))
     sim.run(until=0.1)
 
-    # --- 3. netwatch + ndb -----------------------------------------------
+    # --- 3. netwatch + ndb ---------------------------------------------------
     print(f"netwatch violations: {len(watch.violations)}")
     for violation in watch.violations[:2]:
         history = violation.history
@@ -52,7 +61,7 @@ def main() -> None:
               f"{history.switch_path} ({violation.detail})")
 
     verifier = RouteVerifier(network)
-    store = deployed.aggregators[victim].store
+    store = experiment.apps["netsight"].aggregators[victim].store
     misrouted = store.query(lambda h: h.dst == dst)
     expected = verifier.expected_switch_path(src, dst)
     print(f"\nndb: {len(misrouted)} packets destined to {dst} were delivered to {victim}")
@@ -67,66 +76,25 @@ def main() -> None:
         print(f"  expected switch path {check.expected}, observed {check.observed}; "
               f"first divergence at hop {check.divergence_hop} -> the bad entry is on "
               f"switch {culprit}")
+    experiment.finish()
 
-    # Fix the bad entry before the next act.
-    bad_entry = network.switches["leaf0"].pipeline.forwarding_table.lookup(
-        udp_packet(src, dst, 64))
-    network.switches["leaf0"].pipeline.forwarding_table.remove(bad_entry.entry_id)
-
-    # --- 4. route-convergence measurement after a link failure --------------
+    # --- 4. route-convergence measurement after a link failure ---------------
+    # A fresh scenario: probe the path every 2 ms, fail the active spine
+    # uplink at t=0.2s, reroute 30 ms later, and report the convergence time.
     print("\nfailing the active spine uplink at t=0.2s and probing the path every 2 ms...")
-    observations = []
-    template = compile_tpp(PATH_TPP_SOURCE, num_hops=8,
-                           app_id=stacks[src].executor_app_id).tpp
-
-    def probe() -> None:
-        sent_at = sim.now
-        stacks[src].executor.execute(
-            template.clone(), dst,
-            lambda tpp: observations.append(observation_from_tpp(tpp, sent_at))
-            if tpp is not None else None,
-            retries=0, timeout_s=0.02)
-
-    process = sim.schedule_periodic(2e-3, probe)
-
-    failure_time = 0.2
-
-    reroute_delay = 0.03   # the control plane takes ~30 ms to react to the failure
-
-    def fail_link() -> None:
-        # Fail whichever spine the probes show is currently carrying the
-        # traffic; the control plane repoints both leaves a little later.
-        spine_ids = {name: network.switches[name].switch_id for name in ("spine0", "spine1")}
-        current_path = observations[-1].switch_ids if observations else []
-        active = next((name for name, sid in spine_ids.items() if sid in current_path),
-                      "spine0")
-        backup = "spine1" if active == "spine0" else "spine0"
-        print(f"  active spine at failure time: {active}; failing leaf0<->{active}; "
-              f"control plane reroutes via {backup} after {reroute_delay * 1e3:.0f} ms")
-        network.link_between("leaf0", active).set_down()
-
-        def reroute() -> None:
-            network.switches["leaf0"].install_route(
-                dst, network.ports_towards("leaf0", backup)[0], priority=100)
-            network.switches["leaf1"].install_route(
-                src, network.ports_towards("leaf1", backup)[0], priority=100)
-
-        sim.schedule(reroute_delay, reroute)
-
-    sim.schedule_at(failure_time, fail_link)
-    sim.run(until=0.5)
-    process.stop()
-    network.stop_switch_processes()
-
-    old_paths = {tuple(o.switch_ids) for o in observations if o.time < failure_time}
-    converged = next((o for o in observations
-                      if o.time >= failure_time
-                      and tuple(o.switch_ids) not in old_paths), None)
-    print(f"  paths observed before the failure: {sorted(old_paths)}")
-    if converged is not None:
-        print(f"  first probe over the backup path at t={converged.time * 1e3:.1f} ms -> "
-              f"convergence took {(converged.time - failure_time) * 1e3:.1f} ms "
-              f"(path {converged.switch_ids})")
+    result = run_route_verification_experiment(
+        duration_s=max(0.5 * DURATION_SCALE, 0.3), src=src, dst=dst,
+        failure_time=0.2, reroute_delay_s=0.03, probe_interval_s=2e-3,
+        link_rate_bps=mbps(10))
+    convergence = result.convergence
+    print(f"  pre-failure path verified against control-plane intent: "
+          f"{result.pre_failure.matches} (path {result.pre_failure.observed})")
+    print(f"  probes sent: {result.probes_sent}, path observations collected: "
+          f"{len(convergence.observations)}")
+    if convergence.converged_time is not None:
+        print(f"  first probe over the backup path at "
+              f"t={convergence.converged_time * 1e3:.1f} ms -> convergence took "
+              f"{convergence.convergence_seconds * 1e3:.1f} ms")
     else:
         print("  no probe made it over the backup path (unexpected)")
 

@@ -1,68 +1,63 @@
 #!/usr/bin/env python3
-"""Quickstart: write a tiny packet program, run it through a network, read the results.
+"""Quickstart: compose a tiny-packet-program experiment with one Scenario.
 
-This walks through the core workflow of the library in ~40 lines of real code:
+The :class:`repro.session.Scenario` API is the library's front door: one
+fluent object owns the topology, the §4 end-host stacks, the TPP
+applications, the workload, and result collection.  This walks the core
+workflow in a dozen lines of real code:
 
-1. build a simulated network of TPP-capable switches (a six-host dumbbell),
-2. install the end-host stack (§4) on every host,
-3. compile the paper's flagship example — a TPP that records the switch id,
-   the packet's output port and the output-queue occupancy at every hop
-   (§2.1),
-4. attach it to a few data packets via the ``add_tpp`` API and look at what
-   came back.
+1. pick a registered topology (a six-host dumbbell) and a seed,
+2. declare the paper's flagship TPP — switch id, output port, and
+   output-queue occupancy at every hop (§2.1) — on every UDP packet,
+3. drive it with the registered all-to-all ``messages`` workload,
+4. run, then read the per-queue series and instrumentation accounting off
+   the structured :class:`~repro.session.ExperimentResult`.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import compile_tpp
-from repro.endhost import PacketFilter, install_stacks
-from repro.net import Simulator, build_dumbbell, mbps, udp_packet
+import os
+
+from repro.endhost import PacketFilter
+from repro.net import mbps
+from repro.session import Scenario
+
+DURATION_SCALE = float(os.environ.get("REPRO_DURATION_SCALE", "1"))
+
+QUEUE_MONITOR_TPP = """
+PUSH [Switch:SwitchID]
+PUSH [PacketMetadata:OutputPort]
+PUSH [Queue:QueueOccupancy]
+"""
 
 
 def main() -> None:
-    # 1. A six-host dumbbell with 10 Mb/s links and shortest-path routes.
-    sim = Simulator()
-    topology = build_dumbbell(sim, hosts_per_side=3, link_rate_bps=mbps(10))
-    network = topology.network
+    print(f"registered topologies: {', '.join(Scenario.topologies())}")
+    print(f"registered workloads:  {', '.join(Scenario.workloads())}\n")
 
-    # 2. End-host stacks: dataplane shim + TPP control plane + executor.
-    stacks = install_stacks(network)
-    control_plane = stacks["h0"].control_plane
-
-    # 3. Compile the §2.1 TPP from its pseudo-assembly.
-    app = control_plane.register_application("quickstart-monitor")
-    program = """
-    PUSH [Switch:SwitchID]
-    PUSH [PacketMetadata:OutputPort]
-    PUSH [Queue:QueueOccupancy]
-    """
-    compiled = compile_tpp(program, num_hops=6, app_id=app.app_id)
-    print("compiled TPP:")
-    for instruction in compiled.tpp.instructions:
-        print(f"    {instruction}")
-    print(f"    wire length: {compiled.tpp.wire_length()} bytes\n")
-
-    # 4. Attach it to every UDP packet h0 sends to h5, and collect the results
-    #    that arrive at h5 (fully executed, one record per hop).
     records = []
-    stacks["h5"].shim.bind_application(
-        app.app_id, on_tpp=lambda tpp, packet: records.append(tpp.words_by_hop(3)))
-    stacks["h0"].agent.add_tpp(app.app_id, PacketFilter(dst="h5"), compiled.tpp,
-                               sample_frequency=1)
+    result = (
+        Scenario(topology="dumbbell", seed=1, hosts_per_side=3,
+                 link_rate_bps=mbps(10))
+        .tpp("queue-monitor", QUEUE_MONITOR_TPP, num_hops=6,
+             filter=PacketFilter(protocol="udp"), sample_frequency=1)
+        .collect(on_tpp=lambda tpp, packet: records.append(
+            (packet.dst, tpp.words_by_hop(3)[:tpp.hop_number])))
+        .workload("messages", offered_load=0.2, message_bytes=3_000)
+        .run(duration_s=0.05 * DURATION_SCALE))
 
-    for i in range(5):
-        network.hosts["h0"].send(udp_packet("h0", "h5", payload_bytes=1000,
-                                            dport=9000, flow_id=1))
-    sim.run(until=0.1)
+    print("per-hop records (switch id, output port, queue occupancy):")
+    for dst, hops in records[:5]:
+        rendered = "  ->  ".join(f"switch {s} port {p} queue {q} pkts"
+                                 for s, p, q in hops)
+        print(f"  to {dst}: {rendered}")
 
-    print("per-hop records observed at h5 (switch id, output port, queue occupancy):")
-    for index, hops in enumerate(records):
-        rendered = "  ->  ".join(f"switch {s} port {p} queue {q} pkts" for s, p, q in hops)
-        print(f"  packet {index}: {rendered}")
-
-    shim = stacks["h0"].shim
-    print(f"\n{shim.tpps_attached} packets were instrumented, adding "
-          f"{shim.tpp_bytes_added} bytes of TPP headers in total.")
+    print(f"\nthe structured result, for free with every scenario:")
+    print(f"  events executed       : {result.events_executed}")
+    print(f"  packets instrumented  : {result.tpps_attached}")
+    print(f"  TPPs completed        : {result.tpps_received}")
+    print(f"  instrumentation bytes : {result.instrumentation_overhead_bytes}")
+    print(f"  per-host summaries    : {result.summaries('queue-monitor')}")
 
 
 if __name__ == "__main__":

@@ -8,20 +8,27 @@ the α-fair aggregate of the per-link fair rates.  Because the aggregation
 happens at the end-host, switching from max-min to proportional fairness is a
 one-parameter change — the point of §2.2.
 
+The whole experiment is one :func:`repro.apps.rcp.rcp_scenario` session: the
+``rcp-chain`` topology, the end-host stacks, the per-flow controllers, and
+the throughput meters all hang off a single Scenario.
+
 Run with:  python examples/rcp_fairness.py
 """
 
+import os
+
 from repro.apps.rcp import (ALPHA_MAXMIN, ALPHA_PROPORTIONAL, expected_fair_shares,
-                            run_rcp_fairness_experiment)
+                            rcp_scenario)
 from repro.net import mbps
 
 LINK_RATE = mbps(10)   # scaled from the paper's 100 Mb/s; shares are relative
+DURATION_SCALE = float(os.environ.get("REPRO_DURATION_SCALE", "1"))
 
 
 def describe(label: str, alpha: float) -> None:
     print(f"=== {label} (alpha = {alpha}) ===")
-    result = run_rcp_fairness_experiment(alpha=alpha, duration_s=10.0,
-                                         link_rate_bps=LINK_RATE)
+    result = rcp_scenario(alpha=alpha, link_rate_bps=LINK_RATE) \
+        .run(duration_s=10.0 * DURATION_SCALE)
     expected = expected_fair_shares(alpha, LINK_RATE)
     print(f"  {'flow':<6s} {'expected':>10s} {'achieved':>10s}")
     for flow in ("a", "b", "c"):

@@ -12,28 +12,35 @@ executor library to interrogate *specific switches*:
 * **scatter-gather** — the same statistics TPP fans out to a set of switches
   and the results are collected into one callback.
 
+The fabric, stacks, and background traffic are composed with a Scenario
+(``.build()`` keeps the live experiment so the probes can be issued between
+two ``sim.run`` phases); the probes use each stack's executor directly.
+
 Run with:  python examples/switch_scoped_monitoring.py
 """
 
-from repro.endhost import install_stacks
-from repro.net import RateLimitedFlow, Simulator, build_leaf_spine, mbps
+import os
+
+from repro.net import mbps
+from repro.session import Scenario
+
+DURATION_SCALE = float(os.environ.get("REPRO_DURATION_SCALE", "1"))
 
 STATISTICS = ["Switch:SwitchID", "Link:TX-Utilization", "Queue:QueueOccupancyBytes"]
 
 
 def main() -> None:
-    sim = Simulator()
-    topo = build_leaf_spine(sim, num_leaves=2, num_spines=2, hosts_per_leaf=2,
-                            link_rate_bps=mbps(10))
-    network = topo.network
-    stacks = install_stacks(network)
-    src, dst = "h0_0", "h1_0"
-    executor = stacks[src].executor
-
     # Background traffic so the utilisation numbers are non-trivial.
-    RateLimitedFlow(sim, network.hosts[src], dst, rate_bps=6e6, dport=7000)
-    RateLimitedFlow(sim, network.hosts["h0_1"], "h1_1", rate_bps=4e6, dport=7001)
-    sim.run(until=0.3)
+    experiment = (Scenario("leaf-spine", seed=1, num_leaves=2, num_spines=2,
+                           hosts_per_leaf=2, link_rate_bps=mbps(10))
+                  .workload("paced-flows", flows=[
+                      dict(src="h0_0", dst="h1_0", rate_bps=6e6, dport=7000),
+                      dict(src="h0_1", dst="h1_1", rate_bps=4e6, dport=7001)])
+                  .build())
+    sim, network = experiment.sim, experiment.network
+    src, dst = "h0_0", "h1_0"
+    executor = experiment.stacks[src].executor
+    sim.run(until=0.3 * DURATION_SCALE)
 
     def show(name, tpp):
         if tpp is None:
@@ -68,8 +75,8 @@ def main() -> None:
 
     executor.scatter_gather(STATISTICS, targets, gathered)
 
-    sim.run(until=0.6)
-    network.stop_switch_processes()
+    sim.run(until=0.6 * DURATION_SCALE)
+    experiment.finish()
     stats = executor.stats
     print(f"\nexecutor sent {stats.probes_sent} probes "
           f"({stats.retries} retries, {stats.failures} failures).")

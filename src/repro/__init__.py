@@ -11,6 +11,10 @@ Subpackages
   hosts, topologies, traffic generators, a simple TCP).
 * :mod:`repro.endhost` — the end-host stack: TPP control plane, dataplane
   shim, executor library, application deployment framework.
+* :mod:`repro.session` — the unified experiment API: the fluent
+  :class:`~repro.session.Scenario` builder, the
+  :class:`~repro.session.Experiment` runner, and the topology/workload
+  registries.
 * :mod:`repro.apps` — the paper's dataplane tasks refactored over TPPs
   (micro-burst detection, RCP*, NetSight, CONGA*, sketches, verification).
 * :mod:`repro.baselines` — the comparators (ECMP, TCP, polling monitor,
@@ -22,4 +26,5 @@ Subpackages
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "switches", "net", "endhost", "apps", "baselines", "hardware", "stats"]
+__all__ = ["core", "switches", "net", "endhost", "session", "apps", "baselines",
+           "hardware", "stats"]

@@ -32,9 +32,10 @@ from typing import Optional
 
 from repro.core.compiler import compile_tpp
 from repro.core.packet_format import TPP
-from repro.endhost import EndHostStack, install_stacks
-from repro.net import RateLimitedFlow, Simulator, ThroughputMeter, build_conga_topology, mbps
+from repro.endhost import EndHostStack
+from repro.net import RateLimitedFlow, ThroughputMeter, mbps
 from repro.net.packet import Packet, tpp_probe_packet
+from repro.session import ExperimentResult, Scenario
 from repro.switches.counters import UTILIZATION_SCALE
 
 PROBE_TPP_SOURCE = """
@@ -187,26 +188,23 @@ class CongaExperimentResult:
         return self.achieved_bps.get(flow, 0.0) / demand if demand else 0.0
 
 
-def run_conga_experiment(scheme: str = "conga", duration_s: float = 10.0,
-                         link_rate_bps: float = mbps(10),
-                         demand_l0_fraction: float = 0.5,
-                         demand_l1_fraction: float = 1.2,
-                         subflow_rate_fraction: float = 0.1,
-                         warmup_s: float = 2.0,
-                         seed: int = 1) -> CongaExperimentResult:
-    """Reproduce the Figure 4 scenario under "conga" or "ecmp" load balancing.
+#: The fabric links whose utilisation Figure 4 reports.
+CORE_LINKS = [("L1", "S0"), ("L1", "S1"), ("S0", "L2"), ("S1", "L2"), ("L0", "S0")]
 
-    Demands are expressed as fractions of the fabric link rate (the paper uses
-    50 and 120 Mb/s on 100 Mb/s links); each demand is realised as a bundle of
-    equal-rate UDP subflows so ECMP has something to hash.
+
+def conga_scenario(scheme: str = "conga", link_rate_bps: float = mbps(10),
+                   demand_l0_fraction: float = 0.5,
+                   demand_l1_fraction: float = 1.2,
+                   subflow_rate_fraction: float = 0.1,
+                   warmup_s: float = 2.0, seed: int = 1) -> Scenario:
+    """The Figure 4 scenario as a :class:`Scenario` ("conga" or "ecmp").
+
+    ``conga_scenario(scheme).run(duration_s=10.0)`` returns a
+    :class:`CongaExperimentResult`.  Subflows, meters, the CONGA* controller
+    and the warm-up counter snapshot are wired in a setup hook.
     """
     if scheme not in ("conga", "ecmp"):
         raise ValueError("scheme must be 'conga' or 'ecmp'")
-    sim = Simulator()
-    topo = build_conga_topology(sim, link_rate_bps=link_rate_bps, group_policy="vlan",
-                                utilization_ewma_alpha=0.3)
-    network = topo.network
-    stacks = install_stacks(network)
 
     demand_l0 = demand_l0_fraction * link_rate_bps
     demand_l1 = demand_l1_fraction * link_rate_bps
@@ -214,64 +212,99 @@ def run_conga_experiment(scheme: str = "conga", duration_s: float = 10.0,
     num_l0 = max(1, int(round(demand_l0 / subflow_rate)))
     num_l1 = max(1, int(round(demand_l1 / subflow_rate)))
 
-    meters = {"L0:L2": ThroughputMeter(sim, window_s=0.25),
-              "L1:L2": ThroughputMeter(sim, window_s=0.25)}
-    receiver = network.hosts["hl2"]
+    def wire_traffic(experiment) -> None:
+        sim, network = experiment.sim, experiment.network
+        meters = {"L0:L2": ThroughputMeter(sim, window_s=0.25),
+                  "L1:L2": ThroughputMeter(sim, window_s=0.25)}
+        receiver = network.hosts["hl2"]
 
-    flows_l0, flows_l1 = [], []
-    for i in range(num_l0):
-        dport = 40000 + i
-        receiver.listen(dport, meters["L0:L2"].on_packet)
-        flows_l0.append(RateLimitedFlow(sim, network.hosts["hl0"], "hl2",
-                                        rate_bps=subflow_rate, dport=dport,
-                                        vlan=i % 2, packet_payload_bytes=1000))
-    for i in range(num_l1):
-        dport = 41000 + i
-        receiver.listen(dport, meters["L1:L2"].on_packet)
-        # ECMP: deterministically split the subflows evenly across both paths
-        # (the paper's "ECMP splits the flow from L1 to L2 equally").
-        flows_l1.append(RateLimitedFlow(sim, network.hosts["hl1"], "hl2",
-                                        rate_bps=subflow_rate, dport=dport,
-                                        vlan=i % 2, packet_payload_bytes=1000))
+        flows_l0, flows_l1 = [], []
+        for i in range(num_l0):
+            dport = 40000 + i
+            receiver.listen(dport, meters["L0:L2"].on_packet)
+            flows_l0.append(RateLimitedFlow(sim, network.hosts["hl0"], "hl2",
+                                            rate_bps=subflow_rate, dport=dport,
+                                            vlan=i % 2, packet_payload_bytes=1000))
+        for i in range(num_l1):
+            dport = 41000 + i
+            receiver.listen(dport, meters["L1:L2"].on_packet)
+            # ECMP: deterministically split the subflows evenly across both paths
+            # (the paper's "ECMP splits the flow from L1 to L2 equally").
+            flows_l1.append(RateLimitedFlow(sim, network.hosts["hl1"], "hl2",
+                                            rate_bps=subflow_rate, dport=dport,
+                                            vlan=i % 2, packet_payload_bytes=1000))
 
-    controller: Optional[CongaController] = None
-    if scheme == "conga":
-        controller = CongaController(stacks["hl1"], "hl2", path_tags=[0, 1])
-        for flow in flows_l1:
-            controller.manage_flow(flow)
+        if scheme == "conga":
+            controller = CongaController(experiment.stacks["hl1"], "hl2",
+                                         path_tags=[0, 1])
+            for flow in flows_l1:
+                controller.manage_flow(flow)
+            experiment.extras["controller"] = controller
+            experiment.on_stop(controller.stop)
 
-    # Snapshot fabric-link byte counters after warm-up to measure utilisation.
-    core_links = [("L1", "S0"), ("L1", "S1"), ("S0", "L2"), ("S1", "L2"), ("L0", "S0")]
-    counters_at_warmup: dict[str, int] = {}
+        # Snapshot fabric-link byte counters after warm-up to measure utilisation.
+        counters_at_warmup: dict[str, int] = {}
 
-    def _snapshot() -> None:
-        for a, b in core_links:
+        def _snapshot() -> None:
+            for a, b in CORE_LINKS:
+                ports = network.ports_towards(a, b)
+                counters_at_warmup[f"{a}->{b}"] = \
+                    network.switches[a].ports[ports[0]].tx_bytes
+
+        sim.schedule(warmup_s, _snapshot)
+        experiment.extras["meters"] = meters
+        experiment.extras["flows"] = {"L0:L2": flows_l0, "L1:L2": flows_l1}
+        experiment.extras["counters_at_warmup"] = counters_at_warmup
+        for meter in meters.values():
+            experiment.on_stop(meter.stop)
+
+    def to_result(result: ExperimentResult) -> CongaExperimentResult:
+        network = result.network
+        meters = result.extras["meters"]
+        counters_at_warmup = result.extras["counters_at_warmup"]
+        measurement_window = result.end_time_s - warmup_s
+        core_utilizations = {}
+        for a, b in CORE_LINKS:
             ports = network.ports_towards(a, b)
-            counters_at_warmup[f"{a}->{b}"] = network.switches[a].ports[ports[0]].tx_bytes
+            tx_bytes = network.switches[a].ports[ports[0]].tx_bytes
+            delta = tx_bytes - counters_at_warmup.get(f"{a}->{b}", 0)
+            core_utilizations[f"{a}->{b}"] = \
+                (delta * 8.0 / measurement_window) / link_rate_bps
 
-    sim.schedule(warmup_s, _snapshot)
-    sim.run(until=duration_s)
-    network.stop_switch_processes()
-    if controller is not None:
-        controller.stop()
-    for meter in meters.values():
-        meter.stop()
+        skip = int(warmup_s / 0.25)
+        achieved = {name: meter.mean_throughput_bps(skip_windows=skip)
+                    for name, meter in meters.items()}
+        return CongaExperimentResult(
+            scheme=scheme,
+            demand_bps={"L0:L2": demand_l0, "L1:L2": demand_l1},
+            achieved_bps=achieved,
+            max_core_utilization=max(core_utilizations.values()),
+            core_utilizations=core_utilizations,
+        )
 
-    measurement_window = duration_s - warmup_s
-    core_utilizations = {}
-    for a, b in core_links:
-        ports = network.ports_towards(a, b)
-        tx_bytes = network.switches[a].ports[ports[0]].tx_bytes
-        delta = tx_bytes - counters_at_warmup.get(f"{a}->{b}", 0)
-        core_utilizations[f"{a}->{b}"] = (delta * 8.0 / measurement_window) / link_rate_bps
+    return (Scenario("conga", seed=seed, name=f"conga-{scheme}",
+                     link_rate_bps=link_rate_bps, group_policy="vlan",
+                     utilization_ewma_alpha=0.3)
+            .setup(wire_traffic)
+            .map_result(to_result))
 
-    skip = int(warmup_s / 0.25)
-    achieved = {name: meter.mean_throughput_bps(skip_windows=skip)
-                for name, meter in meters.items()}
-    return CongaExperimentResult(
-        scheme=scheme,
-        demand_bps={"L0:L2": demand_l0, "L1:L2": demand_l1},
-        achieved_bps=achieved,
-        max_core_utilization=max(core_utilizations.values()),
-        core_utilizations=core_utilizations,
-    )
+
+def run_conga_experiment(scheme: str = "conga", duration_s: float = 10.0,
+                         link_rate_bps: float = mbps(10),
+                         demand_l0_fraction: float = 0.5,
+                         demand_l1_fraction: float = 1.2,
+                         subflow_rate_fraction: float = 0.1,
+                         warmup_s: float = 2.0,
+                         seed: int = 1) -> CongaExperimentResult:
+    """Reproduce the Figure 4 scenario (thin wrapper over :func:`conga_scenario`).
+
+    Demands are expressed as fractions of the fabric link rate (the paper uses
+    50 and 120 Mb/s on 100 Mb/s links); each demand is realised as a bundle of
+    equal-rate UDP subflows so ECMP has something to hash.
+    """
+    scenario = conga_scenario(scheme=scheme, link_rate_bps=link_rate_bps,
+                              demand_l0_fraction=demand_l0_fraction,
+                              demand_l1_fraction=demand_l1_fraction,
+                              subflow_rate_fraction=subflow_rate_fraction,
+                              warmup_s=warmup_s, seed=seed)
+    return scenario.run(duration_s=duration_s)

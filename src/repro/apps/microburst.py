@@ -22,9 +22,10 @@ from typing import Optional
 from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, EndHostStack, PacketFilter,
-                           PiggybackApplication, deploy, install_stacks)
-from repro.net import MessageWorkload, Simulator, build_dumbbell, mbps
+                           PiggybackApplication, deploy)
+from repro.net import MessageWorkload, mbps
 from repro.net.packet import Packet
+from repro.session import ExperimentResult, Scenario
 from repro.stats import TimeSeries, cdf, fraction_at_or_below
 
 #: The §2.1 program, verbatim apart from the explicit output-port read that
@@ -133,50 +134,53 @@ def deploy_microburst_monitor(stacks: dict[str, EndHostStack], collector: Collec
                   sender_hosts=sender_hosts, receiver_hosts=receiver_hosts)
 
 
+def _to_microburst_result(result: ExperimentResult) -> MicroburstResult:
+    """Assemble the Figure 1 result object from a finished session run."""
+    workload: MessageWorkload = result.workloads["messages"]
+    return MicroburstResult(
+        samples=result.merged_samples("microburst-monitor"),
+        series=result.merged_series("microburst-monitor"),
+        messages_sent=len(workload.messages_sent),
+        packets_instrumented=result.tpps_attached,
+        tpp_overhead_bytes_per_packet=microburst_tpp().tpp.wire_length())
+
+
+def microburst_scenario(hosts_per_side: int = 3, link_rate_bps: float = mbps(100),
+                        offered_load: float = 0.3, message_bytes: int = 10_000,
+                        sample_frequency: int = 1, seed: int = 1,
+                        num_hops: int = 6) -> Scenario:
+    """The Figure 1 experiment as a :class:`Scenario`.
+
+    ``microburst_scenario(...).run(duration_s=1.0)`` returns a
+    :class:`MicroburstResult`; tweak the scenario (extra TPP apps, different
+    workloads) before running for variants.
+    """
+    return (Scenario("dumbbell", seed=seed, name="microburst",
+                     hosts_per_side=hosts_per_side, link_rate_bps=link_rate_bps)
+            .tpp("microburst-monitor", MICROBURST_TPP_SOURCE, num_hops=num_hops,
+                 filter=PacketFilter(protocol="udp"),
+                 sample_frequency=sample_frequency,
+                 aggregator=MicroburstAggregator,
+                 collector=Collector("microburst-collector"))
+            .workload("messages", link_rate_bps=link_rate_bps,
+                      offered_load=offered_load, message_bytes=message_bytes,
+                      seed=seed)
+            .map_result(_to_microburst_result))
+
+
 def run_microburst_experiment(duration_s: float = 1.0, hosts_per_side: int = 3,
                               link_rate_bps: float = mbps(100), offered_load: float = 0.3,
                               message_bytes: int = 10_000, sample_frequency: int = 1,
                               seed: int = 1) -> MicroburstResult:
-    """Reproduce the Figure 1 experiment.
+    """Reproduce the Figure 1 experiment (thin wrapper over :func:`microburst_scenario`).
 
     Six hosts on a dumbbell send 10 kB messages to each other at 30 % offered
     load; every packet carries the micro-burst TPP; one collector gathers the
     per-queue samples observed by all receivers.
     """
-    sim = Simulator()
-    topo = build_dumbbell(sim, hosts_per_side=hosts_per_side, link_rate_bps=link_rate_bps)
-    network = topo.network
-    stacks = install_stacks(network)
-    collector = Collector("microburst-collector")
-    deployed = deploy_microburst_monitor(stacks, collector,
-                                         sample_frequency=sample_frequency)
-
-    hosts = [network.hosts[name] for name in topo.host_names]
-    workload = MessageWorkload(sim, hosts, link_rate_bps=link_rate_bps,
-                               offered_load=offered_load, message_bytes=message_bytes,
-                               seed=seed, stop_time=duration_s)
-    sim.run(until=duration_s)
-    network.stop_switch_processes()
-
-    samples: list[QueueSample] = []
-    series: dict[tuple[int, int], TimeSeries] = {}
-    for aggregator in deployed.aggregators.values():
-        samples.extend(aggregator.samples)
-        for key, ts in aggregator.series.items():
-            merged = series.setdefault(key, TimeSeries())
-            for t, v in zip(ts.times, ts.values):
-                # Series from different hosts interleave; rebuild in time order below.
-                merged.times.append(t)
-                merged.values.append(v)
-    for ts in series.values():
-        order = sorted(range(len(ts.times)), key=lambda i: ts.times[i])
-        ts.times = [ts.times[i] for i in order]
-        ts.values = [ts.values[i] for i in order]
-    samples.sort(key=lambda s: s.time)
-
-    packets_instrumented = sum(stack.shim.tpps_attached for stack in stacks.values())
-    overhead = microburst_tpp().tpp.wire_length()
-    return MicroburstResult(samples=samples, series=series,
-                            messages_sent=len(workload.messages_sent),
-                            packets_instrumented=packets_instrumented,
-                            tpp_overhead_bytes_per_packet=overhead)
+    scenario = microburst_scenario(hosts_per_side=hosts_per_side,
+                                   link_rate_bps=link_rate_bps,
+                                   offered_load=offered_load,
+                                   message_bytes=message_bytes,
+                                   sample_frequency=sample_frequency, seed=seed)
+    return scenario.run(duration_s=duration_s)

@@ -30,7 +30,9 @@ from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, EndHostStack, PacketFilter,
                            PiggybackApplication, deploy)
+from repro.net import mbps
 from repro.net.packet import Packet
+from repro.session import ExperimentResult, Scenario
 
 PACKET_HISTORY_TPP_SOURCE = """
 PUSH [Switch:SwitchID]
@@ -226,6 +228,77 @@ def deploy_netsight(stacks: dict[str, EndHostStack], collector: Collector,
         sample_frequency=sample_frequency,
     )
     return deploy(descriptor, stacks, any_stack.control_plane)
+
+
+@dataclass
+class NetSightExperimentResult:
+    """A network-wide packet-history collection run (§2.3)."""
+
+    store: HistoryStore                       # histories from every receiver
+    violations: list[PolicyViolation]
+    packets_instrumented: int
+    histories_collected: int
+    tpp_overhead_bytes_per_packet: int
+    messages_sent: int
+
+
+def netsight_scenario(hosts_per_side: int = 3, link_rate_bps: float = mbps(10),
+                      offered_load: float = 0.3, message_bytes: int = 10_000,
+                      sample_frequency: int = 1, num_hops: int = 10,
+                      netwatch: Optional[NetWatch] = None,
+                      packet_filter: Optional[PacketFilter] = None,
+                      seed: int = 1) -> Scenario:
+    """Network-wide packet-history collection as a :class:`Scenario`.
+
+    Deploys the §2.3 packet-history TPP on a message workload over a
+    dumbbell; ``.run(duration_s=...)`` returns a
+    :class:`NetSightExperimentResult` whose merged :class:`HistoryStore`
+    answers netshark/ndb queries and whose ``violations`` come from the
+    supplied :class:`NetWatch` (if any).
+    """
+    shared_netwatch = netwatch
+
+    def factory(host_name: str, collector: Optional[Collector]) -> NetSightAggregator:
+        return NetSightAggregator(host_name, collector, netwatch=shared_netwatch)
+
+    def to_result(result: "ExperimentResult") -> NetSightExperimentResult:
+        store = HistoryStore()
+        for aggregator in result.aggregators("netsight").values():
+            store.extend(aggregator.store.histories)
+        store.histories.sort(key=lambda history: history.delivered_at)
+        workload = result.workloads["messages"]
+        return NetSightExperimentResult(
+            store=store,
+            violations=list(shared_netwatch.violations) if shared_netwatch else [],
+            packets_instrumented=result.tpps_attached,
+            histories_collected=len(store),
+            tpp_overhead_bytes_per_packet=history_overhead_bytes(num_hops),
+            messages_sent=len(workload.messages_sent))
+
+    return (Scenario("dumbbell", seed=seed, name="netsight",
+                     hosts_per_side=hosts_per_side, link_rate_bps=link_rate_bps)
+            .tpp("netsight", PACKET_HISTORY_TPP_SOURCE, num_hops=num_hops,
+                 filter=packet_filter if packet_filter is not None else PacketFilter(),
+                 sample_frequency=sample_frequency, aggregator=factory)
+            .workload("messages", link_rate_bps=link_rate_bps,
+                      offered_load=offered_load, message_bytes=message_bytes,
+                      seed=seed)
+            .map_result(to_result))
+
+
+def run_netsight_experiment(duration_s: float = 0.5, hosts_per_side: int = 3,
+                            link_rate_bps: float = mbps(10), offered_load: float = 0.3,
+                            message_bytes: int = 10_000, sample_frequency: int = 1,
+                            num_hops: int = 10, netwatch: Optional[NetWatch] = None,
+                            seed: int = 1) -> NetSightExperimentResult:
+    """Collect packet histories for every message-workload packet (§2.3)."""
+    scenario = netsight_scenario(hosts_per_side=hosts_per_side,
+                                 link_rate_bps=link_rate_bps,
+                                 offered_load=offered_load,
+                                 message_bytes=message_bytes,
+                                 sample_frequency=sample_frequency,
+                                 num_hops=num_hops, netwatch=netwatch, seed=seed)
+    return scenario.run(duration_s=duration_s)
 
 
 def history_overhead_bytes(num_hops: int = 10) -> int:

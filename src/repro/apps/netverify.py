@@ -159,6 +159,127 @@ def measure_convergence_time(stack: EndHostStack, dst: str, expected_new_path: l
                              observations=observations)
 
 
+@dataclass
+class RouteVerificationResult:
+    """Outcome of the Scenario-based verification + convergence experiment."""
+
+    pre_failure: VerificationResult            # observed vs intended, before failure
+    convergence: ConvergenceResult
+    observations: list[PathObservation]
+    probes_sent: int
+
+
+def verification_scenario(src: str = "h0_0", dst: str = "h1_1",
+                          failure_time: float = 0.2, reroute_delay_s: float = 0.03,
+                          probe_interval_s: float = 2e-3,
+                          link_rate_bps: Optional[float] = None,
+                          seed: int = 1) -> "Scenario":
+    """Route verification + convergence measurement as a :class:`Scenario` (§2.6).
+
+    Probes the ``src -> dst`` path continuously over a two-leaf/two-spine
+    fabric, fails the active spine uplink at ``failure_time``, reroutes both
+    leaves onto the backup spine ``reroute_delay_s`` later, and reports when
+    the observed path settles on the new route.
+    ``.run(duration_s=...)`` returns a :class:`RouteVerificationResult`.
+    """
+    from repro.net import mbps
+    from repro.session import Scenario
+
+    if link_rate_bps is None:
+        link_rate_bps = mbps(10)
+
+    src_leaf = f"leaf{src.split('_')[0][1:]}"
+    dst_leaf = f"leaf{dst.split('_')[0][1:]}"
+
+    def wire_probes(experiment) -> None:
+        sim, network = experiment.sim, experiment.network
+        stack = experiment.stacks[src]
+        observations: list[PathObservation] = []
+        template = compile_tpp(PATH_TPP_SOURCE, num_hops=8,
+                               app_id=stack.executor_app_id).tpp
+        probes = {"sent": 0}
+
+        def _probe() -> None:
+            sent_at = sim.now
+            probes["sent"] += 1
+            stack.executor.execute(
+                template.clone(), dst,
+                lambda tpp: observations.append(observation_from_tpp(tpp, sent_at))
+                if tpp is not None else None,
+                retries=0, timeout_s=probe_interval_s * 4)
+
+        process = sim.schedule_periodic(probe_interval_s, _probe)
+        experiment.on_stop(process.stop)
+
+        def fail_and_reroute() -> None:
+            spine_ids = {name: network.switches[name].switch_id
+                         for name in ("spine0", "spine1")}
+            current_path = observations[-1].switch_ids if observations else []
+            active = next((name for name, sid in spine_ids.items()
+                           if sid in current_path), "spine0")
+            backup = "spine1" if active == "spine0" else "spine0"
+            experiment.extras["failed_spine"] = active
+            experiment.extras["backup_spine"] = backup
+            network.link_between(src_leaf, active).set_down()
+
+            def reroute() -> None:
+                network.switches[src_leaf].install_route(
+                    dst, network.ports_towards(src_leaf, backup)[0], priority=100)
+                network.switches[dst_leaf].install_route(
+                    src, network.ports_towards(dst_leaf, backup)[0], priority=100)
+
+            sim.schedule(reroute_delay_s, reroute)
+
+        sim.schedule_at(failure_time, fail_and_reroute)
+        experiment.extras["observations"] = observations
+        experiment.extras["probes"] = probes
+
+    def to_result(result) -> RouteVerificationResult:
+        network = result.network
+        observations: list[PathObservation] = result.extras["observations"]
+        verifier = RouteVerifier(network)
+        pre = [o for o in observations if o.time < failure_time]
+        observed_old = pre[0].switch_ids if pre else []
+        # ECMP may route via either spine; the control plane's intent is the
+        # *set* of shortest paths, so verify against the member in use.
+        candidates = [[network.switches[src_leaf].switch_id,
+                       network.switches[spine].switch_id,
+                       network.switches[dst_leaf].switch_id]
+                      for spine in ("spine0", "spine1")]
+        expected_old = next((path for path in candidates if path == observed_old),
+                            candidates[0])
+        pre_check = verifier.verify(expected_old, observed_old)
+        backup = result.extras.get("backup_spine", "spine1")
+        expected_new = [network.switches[src_leaf].switch_id,
+                        network.switches[backup].switch_id,
+                        network.switches[dst_leaf].switch_id]
+        converged_time = None
+        for observation in observations:
+            if observation.time >= failure_time and \
+                    observation.switch_ids == expected_new:
+                converged_time = observation.time
+                break
+        convergence = ConvergenceResult(failure_time=failure_time,
+                                        converged_time=converged_time,
+                                        observations=observations)
+        return RouteVerificationResult(pre_failure=pre_check,
+                                       convergence=convergence,
+                                       observations=observations,
+                                       probes_sent=result.extras["probes"]["sent"])
+
+    return (Scenario("leaf-spine", seed=seed, name="route-verification",
+                     num_leaves=2, num_spines=2, hosts_per_leaf=2,
+                     link_rate_bps=link_rate_bps)
+            .setup(wire_probes)
+            .map_result(to_result))
+
+
+def run_route_verification_experiment(duration_s: float = 0.5, **kwargs
+                                      ) -> RouteVerificationResult:
+    """Run :func:`verification_scenario` (probe, fail, reroute, measure)."""
+    return verification_scenario(**kwargs).run(duration_s=duration_s)
+
+
 # ---------------------------------------------------------------------------
 # Fast updates
 # ---------------------------------------------------------------------------

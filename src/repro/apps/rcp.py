@@ -36,8 +36,9 @@ from repro.core import addressing
 from repro.core.compiler import compile_tpp
 from repro.core.isa import Instruction, Opcode
 from repro.core.packet_format import AddressingMode, TPP, make_tpp
-from repro.endhost import EndHostStack, install_stacks
-from repro.net import (RateLimitedFlow, Simulator, ThroughputMeter, build_rcp_chain, mbps)
+from repro.endhost import EndHostStack
+from repro.net import RateLimitedFlow, ThroughputMeter, mbps
+from repro.session import ExperimentResult, Scenario
 from repro.stats import TimeSeries
 from repro.switches.counters import UTILIZATION_SCALE
 
@@ -246,6 +247,71 @@ class RcpExperimentResult:
     link_rate_bps: float = 0.0
 
 
+#: Figure 2's flow endpoints (a crosses both bottlenecks, b and c one each).
+FLOW_SPECS = {
+    "a": ("ha", "ha_dst"),     # two bottleneck hops
+    "b": ("hb", "hb_dst"),     # s0-s1 only
+    "c": ("hc", "hc_dst"),     # s1-s2 only
+}
+
+
+def rcp_scenario(alpha: float = ALPHA_MAXMIN, link_rate_bps: float = mbps(10),
+                 params: Optional[RcpParameters] = None,
+                 packet_payload_bytes: int = 1000,
+                 warmup_fraction: float = 0.4,
+                 utilization_ewma_alpha: float = 0.25, seed: int = 1) -> Scenario:
+    """The Figure 2 experiment as a :class:`Scenario`.
+
+    ``rcp_scenario(alpha=...).run(duration_s=15.0)`` returns an
+    :class:`RcpExperimentResult`.  Flows, meters and per-flow controllers
+    are wired in a setup hook (they need live hosts), and the result is
+    assembled by the mapper.
+    """
+    if params is None:
+        params = RcpParameters()
+
+    def wire_flows(experiment) -> None:
+        meters: dict[str, ThroughputMeter] = {}
+        controllers: dict[str, RcpFlowController] = {}
+        for name, (src, dst) in FLOW_SPECS.items():
+            flow = RateLimitedFlow(experiment.sim, experiment.host(src), dst,
+                                   rate_bps=params.initial_flow_rate_bps,
+                                   packet_payload_bytes=packet_payload_bytes,
+                                   dport=21000 + ord(name))
+            meter = ThroughputMeter(experiment.sim, window_s=0.25)
+            experiment.host(dst).listen(21000 + ord(name), meter.on_packet)
+            meters[name] = meter
+            controllers[name] = RcpFlowController(experiment.stacks[src], flow, dst,
+                                                  params, alpha=alpha)
+            experiment.on_stop(meter.stop)
+            experiment.on_stop(controllers[name].stop)
+        experiment.extras["meters"] = meters
+        experiment.extras["controllers"] = controllers
+
+    def to_result(result: ExperimentResult) -> RcpExperimentResult:
+        meters: dict[str, ThroughputMeter] = result.extras["meters"]
+        rcp_result = RcpExperimentResult(alpha=alpha, link_rate_bps=link_rate_bps)
+        data_bytes = 0
+        control_bytes = result.instrumentation_overhead_bytes
+        skip = int(len(next(iter(meters.values())).windows) * warmup_fraction)
+        for name, meter in meters.items():
+            series = TimeSeries()
+            for t, bps in meter.windows:
+                series.add(t, bps)
+            rcp_result.throughput_series[name] = series
+            rcp_result.mean_throughput_bps[name] = meter.mean_throughput_bps(skip_windows=skip)
+            data_bytes += meter.total_bytes
+        rcp_result.control_overhead_fraction = \
+            control_bytes / data_bytes if data_bytes else 0.0
+        return rcp_result
+
+    return (Scenario("rcp-chain", seed=seed, name="rcp-fairness",
+                     link_rate_bps=link_rate_bps,
+                     utilization_ewma_alpha=utilization_ewma_alpha)
+            .setup(wire_flows)
+            .map_result(to_result))
+
+
 def run_rcp_fairness_experiment(alpha: float = ALPHA_MAXMIN,
                                 duration_s: float = 15.0,
                                 link_rate_bps: float = mbps(10),
@@ -253,7 +319,7 @@ def run_rcp_fairness_experiment(alpha: float = ALPHA_MAXMIN,
                                 packet_payload_bytes: int = 1000,
                                 warmup_fraction: float = 0.4,
                                 utilization_ewma_alpha: float = 0.25) -> RcpExperimentResult:
-    """Reproduce Figure 2 for one fairness criterion.
+    """Reproduce Figure 2 for one fairness criterion (wrapper over :func:`rcp_scenario`).
 
     Flow *a* crosses both 100 %-capacity links (s0-s1 and s1-s2); flows *b*
     and *c* cross one each.  Max-min fairness should give every flow half a
@@ -264,54 +330,11 @@ def run_rcp_fairness_experiment(alpha: float = ALPHA_MAXMIN,
     figure's *shape* is unchanged.  Pass ``link_rate_bps=mbps(100)`` for the
     full-scale run.
     """
-    if params is None:
-        params = RcpParameters()
-    sim = Simulator()
-    topo = build_rcp_chain(sim, link_rate_bps=link_rate_bps,
-                           utilization_ewma_alpha=utilization_ewma_alpha)
-    network = topo.network
-    stacks = install_stacks(network)
-
-    flow_specs = {
-        "a": ("ha", "ha_dst"),     # two bottleneck hops
-        "b": ("hb", "hb_dst"),     # s0-s1 only
-        "c": ("hc", "hc_dst"),     # s1-s2 only
-    }
-    meters: dict[str, ThroughputMeter] = {}
-    controllers: dict[str, RcpFlowController] = {}
-    result = RcpExperimentResult(alpha=alpha, link_rate_bps=link_rate_bps)
-
-    for name, (src, dst) in flow_specs.items():
-        flow = RateLimitedFlow(sim, network.hosts[src], dst,
-                               rate_bps=params.initial_flow_rate_bps,
-                               packet_payload_bytes=packet_payload_bytes,
-                               dport=21000 + ord(name))
-        meter = ThroughputMeter(sim, window_s=0.25)
-        network.hosts[dst].listen(21000 + ord(name), meter.on_packet)
-        meters[name] = meter
-        controllers[name] = RcpFlowController(stacks[src], flow, dst, params, alpha=alpha)
-
-    sim.run(until=duration_s)
-    network.stop_switch_processes()
-    for controller in controllers.values():
-        controller.stop()
-    for meter in meters.values():
-        meter.stop()
-
-    data_bytes = 0
-    control_bytes = 0
-    for stack in stacks.values():
-        control_bytes += stack.shim.overhead_bytes
-    skip = int(len(next(iter(meters.values())).windows) * warmup_fraction)
-    for name, meter in meters.items():
-        series = TimeSeries()
-        for t, bps in meter.windows:
-            series.add(t, bps)
-        result.throughput_series[name] = series
-        result.mean_throughput_bps[name] = meter.mean_throughput_bps(skip_windows=skip)
-        data_bytes += meter.total_bytes
-    result.control_overhead_fraction = control_bytes / data_bytes if data_bytes else 0.0
-    return result
+    scenario = rcp_scenario(alpha=alpha, link_rate_bps=link_rate_bps, params=params,
+                            packet_payload_bytes=packet_payload_bytes,
+                            warmup_fraction=warmup_fraction,
+                            utilization_ewma_alpha=utilization_ewma_alpha)
+    return scenario.run(duration_s=duration_s)
 
 
 def expected_fair_shares(alpha: float, link_rate_bps: float) -> dict[str, float]:

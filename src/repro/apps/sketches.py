@@ -29,7 +29,9 @@ from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, EndHostStack, PacketFilter,
                            PiggybackApplication, deploy)
+from repro.net import mbps
 from repro.net.packet import Packet
+from repro.session import ExperimentResult, Scenario
 
 SKETCH_TPP_SOURCE = """
 PUSH [Switch:ID]
@@ -172,6 +174,75 @@ def deploy_sketch_application(stacks: dict[str, EndHostStack],
         sample_frequency=sample_frequency,
     )
     return deploy(descriptor, stacks, any_stack.control_plane)
+
+
+@dataclass
+class SketchExperimentResult:
+    """A distributed distinct-count run: the merged service plus accounting."""
+
+    service: LinkMonitoringService
+    estimates: dict[LinkKey, float]
+    packets_instrumented: int
+    host_memory_bytes: dict[str, int]
+    tpp_overhead_bytes_per_packet: int
+
+    def estimate(self, key: LinkKey) -> float:
+        return self.estimates.get(key, 0.0)
+
+
+def sketch_scenario(num_leaves: int = 4, num_spines: int = 2, hosts_per_leaf: int = 4,
+                    link_rate_bps: float = mbps(50), bits: int = 1024,
+                    key_field: str = "src", sample_frequency: int = 1,
+                    num_hops: int = 10, seed: int = 1) -> Scenario:
+    """The §2.5 distributed sketch experiment as a :class:`Scenario`.
+
+    All-to-all single packets over a leaf-spine fabric; every host sketches
+    the (switch, port) pairs its packets traversed, and the link-monitoring
+    service ORs the per-host bitmaps.  ``.run(run_until_idle=True)`` returns
+    a :class:`SketchExperimentResult`.
+    """
+    service = LinkMonitoringService(bits=bits)
+
+    def factory(host_name: str, collector: Optional[Collector]) -> SketchAggregator:
+        return SketchAggregator(host_name, collector, bits=bits, key_field=key_field)
+
+    def push_summaries(experiment) -> None:
+        experiment.apps["opensketch-distinct-count"].push_all_summaries()
+
+    def to_result(result: "ExperimentResult") -> SketchExperimentResult:
+        aggregators = result.aggregators("opensketch-distinct-count")
+        return SketchExperimentResult(
+            service=service,
+            estimates=service.estimates(),
+            packets_instrumented=result.tpps_attached,
+            host_memory_bytes={host: aggregator.memory_bytes()
+                               for host, aggregator in aggregators.items()},
+            tpp_overhead_bytes_per_packet=sketch_tpp(num_hops).tpp.wire_length())
+
+    return (Scenario("leaf-spine", seed=seed, name="sketches",
+                     num_leaves=num_leaves, num_spines=num_spines,
+                     hosts_per_leaf=hosts_per_leaf, link_rate_bps=link_rate_bps)
+            .tpp("opensketch-distinct-count", SKETCH_TPP_SOURCE, num_hops=num_hops,
+                 filter=PacketFilter(protocol="udp"),
+                 sample_frequency=sample_frequency,
+                 aggregator=factory, collector=service)
+            .workload("all-to-all-once", payload_bytes=300, dport=9999)
+            .finalize(push_summaries)
+            .map_result(to_result))
+
+
+def run_sketch_experiment(duration_s: float = 1.0, num_leaves: int = 4,
+                          num_spines: int = 2, hosts_per_leaf: int = 4,
+                          link_rate_bps: float = mbps(50), bits: int = 1024,
+                          key_field: str = "src", sample_frequency: int = 1,
+                          seed: int = 1) -> SketchExperimentResult:
+    """Run the §2.5 sketch experiment and merge every host's bitmaps."""
+    scenario = sketch_scenario(num_leaves=num_leaves, num_spines=num_spines,
+                               hosts_per_leaf=hosts_per_leaf,
+                               link_rate_bps=link_rate_bps, bits=bits,
+                               key_field=key_field,
+                               sample_frequency=sample_frequency, seed=seed)
+    return scenario.run(duration_s=duration_s)
 
 
 def sketch_memory_projection(num_links: int = 65_536, bits_per_link: int = 1024,

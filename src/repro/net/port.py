@@ -205,11 +205,22 @@ class Port:
         self.tx_bytes += packet.size
         self.tx_packets += 1
         self.link.on_transmit(packet, self)
-        # Propagate to the peer after the link delay.
-        self.sim.schedule(self.link.delay_s, self._deliver_to_peer, packet,
-                          name=self._prop_name)
-        # Immediately begin the next packet, if any.
-        self._start_transmission()
+        next_packet = self.queue.dequeue()
+        if next_packet is None:
+            # Propagate to the peer after the link delay; transmitter idles.
+            self.transmitting = False
+            self.sim.schedule(self.link.delay_s, self._deliver_to_peer, packet,
+                              name=self._prop_name)
+            return
+        # Busy port: the propagation of this packet and the serialisation of
+        # the next one are scheduled together (one heap insertion pass).  The
+        # propagation spec comes first, so the two events carry the same
+        # (time, seq) keys — hence the same execution order — as the
+        # schedule() pair the unbatched chain would have produced.
+        self.sim.schedule_many(
+            ((self.link.delay_s, self._deliver_to_peer, (packet,), self._prop_name),
+             (next_packet.transmission_time(self.link.rate_bps),
+              self._finish_transmission, (next_packet,), self._tx_name)))
 
     def _deliver_to_peer(self, packet: Packet) -> None:
         peer = self.peer

@@ -191,13 +191,14 @@ class Simulator:
     def schedule_many(self, specs: Iterable[Sequence], name: str = "") -> list[Event]:
         """Schedule a burst of events in one call (the batch-injection path).
 
-        ``specs`` is an iterable of ``(delay, callback)`` or
-        ``(delay, callback, args)`` tuples, each relative to *now*.  The
-        events receive consecutive sequence numbers in iteration order, so
-        the execution order is exactly what the equivalent loop of
-        :meth:`schedule` calls would produce; the difference is purely that
-        large bursts are inserted with one heapify instead of per-event
-        sifting.
+        ``specs`` is an iterable of ``(delay, callback)``,
+        ``(delay, callback, args)`` or ``(delay, callback, args, name)``
+        tuples, each relative to *now* (a per-spec name overrides the
+        burst-wide ``name``).  The events receive consecutive sequence
+        numbers in iteration order, so the execution order is exactly what
+        the equivalent loop of :meth:`schedule` calls would produce; the
+        difference is purely that large bursts are inserted with one heapify
+        instead of per-event sifting.
         """
         now = self._now
         seq = self._seq
@@ -207,7 +208,8 @@ class Simulator:
             delay, callback = spec[0], spec[1]
             args = tuple(spec[2]) if len(spec) > 2 else ()
             self._check_delay(delay)
-            event = Event(now + delay, callback, args, name=name, sim=self)
+            event = Event(now + delay, callback, args,
+                          name=spec[3] if len(spec) > 3 else name, sim=self)
             entries.append((event.time, next(seq), event))
             events.append(event)
         heap = self._heap

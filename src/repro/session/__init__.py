@@ -1,0 +1,31 @@
+"""The unified experiment session layer (Scenario -> Experiment -> Result).
+
+One fluent object composes what every ``run_*_experiment`` used to hand-roll:
+a registered topology, the §4 end-host stacks, piggy-backed TPP applications,
+registered workloads, and result collection — all seeded from one
+``random.Random`` so identical seeds give byte-identical runs::
+
+    from repro.session import Scenario
+
+    result = (Scenario("dumbbell", seed=1, hosts_per_side=3)
+              .tpp("queue-monitor", "PUSH [Queue:QueueOccupancy]", num_hops=6)
+              .workload("messages", offered_load=0.3)
+              .run(duration_s=1.0))
+
+See :mod:`repro.session.scenario` for the builder, ``registry`` for the
+``@register_topology`` / ``@register_workload`` extension points, and
+``workloads`` for the built-in traffic generators.
+"""
+
+from .experiment import Experiment, ExperimentResult
+from .registry import (DuplicateRegistration, Registry, TOPOLOGIES,
+                       UnknownRegistration, WORKLOADS, register_topology,
+                       register_workload)
+from .scenario import Scenario, TppSpec, WorkloadSpec
+from . import workloads as _builtin_workloads  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "DuplicateRegistration", "Experiment", "ExperimentResult", "Registry",
+    "Scenario", "TOPOLOGIES", "TppSpec", "UnknownRegistration", "WORKLOADS",
+    "WorkloadSpec", "register_topology", "register_workload",
+]

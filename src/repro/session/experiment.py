@@ -1,0 +1,368 @@
+"""The :class:`Experiment` runner and :class:`ExperimentResult` container.
+
+An :class:`Experiment` is a *built* scenario: it owns the simulator, the
+constructed topology, the per-host end-host stacks, the deployed piggy-backed
+TPP applications, and the instantiated workloads.  It is created by
+:meth:`repro.session.Scenario.build` and torn down exactly once by
+:meth:`finish` (or :meth:`run`, which drives the clock and then finishes).
+
+Determinism contract: building an experiment performs every step in a fixed
+order — topology, ECMP salting, stacks, TPP deployments (in declaration
+order), workloads (in declaration order), setup hooks (in declaration
+order) — and all randomness flows from one ``random.Random(seed)``, so two
+experiments built from equal scenarios produce byte-identical event
+sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.core.compiler import CompiledTPP, compile_tpp
+from repro.core.packet_format import TPP
+from repro.endhost import (Aggregator, Collector, DeployedApplication,
+                           PiggybackApplication, TPPControlPlane, deploy,
+                           install_stacks)
+from repro.net.sim import Simulator
+from repro.net.topology import BuiltTopology, Network
+from repro.stats import TimeSeries
+
+from .registry import TOPOLOGIES, WORKLOADS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.endhost import EndHostStack
+    from repro.net.node import Host
+
+    from .scenario import Scenario, TppSpec
+
+
+class _TemplateAdapter:
+    """Give a raw :class:`TPP` the ``clone_tpp`` face :func:`deploy` expects."""
+
+    def __init__(self, tpp: TPP) -> None:
+        self._tpp = tpp
+
+    def clone_tpp(self) -> TPP:
+        return self._tpp.clone()
+
+
+def _compile_program(program, num_hops: int):
+    """Accept TPP assembly source, a CompiledTPP, or a raw TPP template."""
+    if isinstance(program, CompiledTPP):
+        return program
+    if isinstance(program, TPP):
+        return _TemplateAdapter(program)
+    if isinstance(program, str):
+        return compile_tpp(program, num_hops=num_hops)
+    raise TypeError(f"tpp program must be source text, a CompiledTPP, or a TPP; "
+                    f"got {type(program).__name__}")
+
+
+def _aggregator_factory(spec: "TppSpec") -> Callable[[str, Optional[Collector]], Aggregator]:
+    """Build the per-host aggregator factory, layering on_tpp callbacks on top."""
+    base = spec.aggregator if spec.aggregator is not None else Aggregator
+    callbacks = tuple(spec.callbacks)
+    if not callbacks:
+        return base
+
+    def factory(host_name: str, collector: Optional[Collector]) -> Aggregator:
+        aggregator = base(host_name, collector)
+        original = aggregator.on_tpp
+
+        def on_tpp(tpp, packet):
+            original(tpp, packet)
+            for callback in callbacks:
+                callback(tpp, packet)
+
+        aggregator.on_tpp = on_tpp          # instance attribute shadows the method
+        return aggregator
+
+    return factory
+
+
+class Experiment:
+    """A live, built scenario — also the context object hooks receive.
+
+    Attributes hooks and workload factories can rely on:
+
+    * ``sim`` / ``network`` / ``topology`` / ``stacks`` / ``control_plane``
+    * ``rng`` — the scenario's master :class:`random.Random`
+    * ``seed`` / ``duration_s`` (``None`` when built without a duration)
+    * ``apps`` — name -> :class:`DeployedApplication`
+    * ``collectors`` — name -> :class:`Collector`
+    * ``workloads`` — name -> whatever the workload factory returned
+    * ``extras`` — scratch space for setup/finalize hooks to publish results
+    * ``on_stop(fn)`` — register teardown callbacks (run LIFO at finish)
+    """
+
+    def __init__(self, scenario: "Scenario", duration_s: Optional[float] = None) -> None:
+        self.scenario = scenario
+        self.duration_s = duration_s
+        self.seed = scenario.seed
+        self.rng = random.Random(scenario.seed)
+        self.sim = Simulator()
+        builder = TOPOLOGIES.get(scenario.topology_name)
+        self.topology: BuiltTopology = builder(self.sim, **scenario.topology_kwargs)
+        self.network: Network = self.topology.network
+        if scenario.seed_ecmp:
+            self._salt_ecmp_groups()
+
+        self.stacks: dict[str, "EndHostStack"] = {}
+        if scenario.install_stacks:
+            self.stacks = install_stacks(self.network, hosts=scenario.host_subset)
+            self.control_plane = next(iter(self.stacks.values())).control_plane \
+                if self.stacks else TPPControlPlane()
+        else:
+            self.control_plane = TPPControlPlane()
+
+        # Scratch/teardown state first: workload factories and setup hooks are
+        # entitled to use extras and on_stop (see the class docstring).
+        self.extras: dict[str, Any] = {}
+        self._stop_callbacks: list[Callable[[], None]] = []
+        self._result: Optional[ExperimentResult] = None
+
+        self.apps: dict[str, DeployedApplication] = {}
+        self.collectors: dict[str, Collector] = {}
+        for spec in scenario.tpp_specs:
+            self._deploy_tpp(spec)
+
+        self.workloads: dict[str, Any] = {}
+        for wspec in scenario.workload_specs:
+            factory = WORKLOADS.get(wspec.workload) if isinstance(wspec.workload, str) \
+                else wspec.workload
+            self.workloads[wspec.name] = factory(self, **wspec.kwargs)
+
+        for hook in scenario.setup_hooks:
+            hook(self)
+
+    # ------------------------------------------------------------------ build
+    def _salt_ecmp_groups(self) -> None:
+        """Re-salt every hash-policy multipath group from the scenario rng.
+
+        The builders install groups with salt 0; drawing one salt from the
+        master rng keeps ECMP placement deterministic per seed while letting
+        different seeds explore different flow placements.
+        """
+        # The selection memo keys on group.salt, so mutated groups miss the
+        # memo instead of being served stale — no explicit flush needed.
+        salt = self.rng.getrandbits(32)
+        for switch in self.network.switches.values():
+            for group in switch.group_table.groups.values():
+                if group.policy == "hash":
+                    group.salt = salt
+
+    def _deploy_tpp(self, spec: "TppSpec") -> None:
+        collector = spec.collector
+        if isinstance(collector, str):
+            collector = Collector(collector)
+        elif collector is None:
+            collector = Collector(f"{spec.name}-collector")
+        self.collectors[spec.name] = collector
+        descriptor = PiggybackApplication(
+            name=spec.name,
+            packet_filter=spec.packet_filter,
+            compiled_tpp=_compile_program(spec.program, spec.num_hops),
+            aggregator_factory=_aggregator_factory(spec),
+            collector=collector,
+            sample_frequency=spec.sample_frequency,
+            priority=spec.priority,
+            echo_to_source=spec.echo_to_source,
+        )
+        if not self.stacks:
+            raise RuntimeError(
+                f"cannot deploy TPP application {spec.name!r}: the scenario was "
+                f"built with install_stacks=False, so no end-host stacks exist")
+        self.apps[spec.name] = deploy(descriptor, self.stacks, self.control_plane,
+                                      sender_hosts=spec.senders,
+                                      receiver_hosts=spec.receivers)
+
+    # ------------------------------------------------------------ conveniences
+    def host(self, name: str) -> "Host":
+        return self.network.hosts[name]
+
+    def derive_seed(self) -> int:
+        """Draw a 32-bit child seed from the master rng (one per consumer)."""
+        return self.rng.getrandbits(32)
+
+    def on_stop(self, callback: Callable[[], None]) -> None:
+        """Register a teardown callback; callbacks run LIFO at :meth:`finish`."""
+        self._stop_callbacks.append(callback)
+
+    # ---------------------------------------------------------------- running
+    def run(self, duration_s: Optional[float] = None, *,
+            run_until_idle: bool = False) -> "ExperimentResult":
+        """Drive the clock, then tear down and assemble the result."""
+        if duration_s is None:
+            duration_s = self.duration_s
+        if duration_s is not None:
+            self.duration_s = duration_s
+            self.sim.run(until=duration_s)
+        if run_until_idle:
+            # Quiesce every event source first, or the drain never goes idle.
+            self.network.stop_switch_processes()
+            self._stop_workloads()
+            self.sim.run_until_idle()
+        return self.finish()
+
+    def _stop_workloads(self) -> None:
+        """Stop workload generators that expose a ``stop()`` (idempotent)."""
+        for handle in self.workloads.values():
+            stop = getattr(handle, "stop", None)
+            if callable(stop):
+                stop()
+
+    def finish(self) -> "ExperimentResult":
+        """Stop background processes, run finalizers, build the result.
+
+        Idempotent: repeated calls return the same :class:`ExperimentResult`.
+        """
+        if self._result is not None:
+            return self._result
+        self.network.stop_switch_processes()
+        self._stop_workloads()
+        for callback in reversed(self._stop_callbacks):
+            callback()
+        for hook in self.scenario.finalize_hooks:
+            hook(self)
+        self._result = self._assemble_result()
+        return self._result
+
+    def _assemble_result(self) -> "ExperimentResult":
+        attached = bytes_added = completed = echoed = overhead = 0
+        for stack in self.stacks.values():
+            shim = stack.shim
+            attached += shim.tpps_attached
+            bytes_added += shim.tpp_bytes_added
+            completed += shim.tpps_completed
+            echoed += shim.tpps_echoed
+            overhead += shim.overhead_bytes
+        received = truncated = 0
+        for deployed in self.apps.values():
+            for aggregator in deployed.aggregators.values():
+                received += aggregator.tpps_received
+                truncated += aggregator.tpps_truncated
+        return ExperimentResult(
+            scenario=self.scenario.name,
+            topology=self.scenario.topology_name,
+            seed=self.seed,
+            duration_s=self.duration_s,
+            end_time_s=self.sim.now,
+            events_executed=self.sim.events_executed,
+            tpps_attached=attached,
+            tpp_bytes_added=bytes_added,
+            tpps_completed=completed,
+            tpps_echoed=echoed,
+            instrumentation_overhead_bytes=overhead,
+            tpps_received=received,
+            tpps_truncated=truncated,
+            apps=dict(self.apps),
+            collectors=dict(self.collectors),
+            workloads=dict(self.workloads),
+            extras=dict(self.extras),
+            experiment=self,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a finished experiment measured, plus live-object handles.
+
+    The scalar fields are the cross-cutting accounting every scenario gets
+    for free (event totals and instrumentation overhead); application data
+    lives in the per-app aggregators/collectors and in ``extras``, with
+    :meth:`merged_series` / :meth:`merged_samples` doing the common
+    gather-across-hosts step.
+    """
+
+    scenario: str
+    topology: str
+    seed: int
+    duration_s: Optional[float]
+    end_time_s: float
+    events_executed: int
+    # Instrumentation-overhead counters, summed across every end-host shim.
+    tpps_attached: int
+    tpp_bytes_added: int
+    tpps_completed: int
+    tpps_echoed: int
+    instrumentation_overhead_bytes: int
+    # Aggregator-side totals, summed across every deployed application.
+    tpps_received: int
+    tpps_truncated: int
+    apps: dict[str, DeployedApplication] = field(default_factory=dict)
+    collectors: dict[str, Collector] = field(default_factory=dict)
+    workloads: dict[str, Any] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
+    experiment: Optional[Experiment] = None
+
+    # ----------------------------------------------------------- live handles
+    @property
+    def network(self) -> Network:
+        return self.experiment.network
+
+    @property
+    def stacks(self) -> dict[str, "EndHostStack"]:
+        return self.experiment.stacks
+
+    @property
+    def sim(self) -> Simulator:
+        return self.experiment.sim
+
+    # ------------------------------------------------------------ per-app data
+    def _app(self, app: Optional[str]) -> DeployedApplication:
+        if app is None:
+            if len(self.apps) != 1:
+                raise ValueError(f"result has {len(self.apps)} deployed apps; "
+                                 f"name one of {sorted(self.apps)}")
+            return next(iter(self.apps.values()))
+        try:
+            return self.apps[app]
+        except KeyError:
+            raise KeyError(f"no deployed app {app!r}; have {sorted(self.apps)}") from None
+
+    def aggregators(self, app: Optional[str] = None) -> dict[str, Aggregator]:
+        return self._app(app).aggregators
+
+    def collector(self, app: Optional[str] = None) -> Collector:
+        name = self._app(app).descriptor.name
+        return self.collectors[name]
+
+    def summaries(self, app: Optional[str] = None) -> dict[str, object]:
+        """host -> that host's aggregator summary."""
+        return {host: aggregator.summarize()
+                for host, aggregator in self.aggregators(app).items()}
+
+    def merged_samples(self, app: Optional[str] = None, attr: str = "samples",
+                       key: Optional[Callable] = None) -> list:
+        """Concatenate per-host aggregator sample lists, sorted by time.
+
+        ``attr`` names the list attribute on the aggregator; ``key`` defaults
+        to each sample's ``time`` attribute.  The sort is stable, so samples
+        with equal timestamps keep host order.
+        """
+        merged: list = []
+        for aggregator in self.aggregators(app).values():
+            merged.extend(getattr(aggregator, attr, ()))
+        merged.sort(key=key if key is not None else (lambda sample: sample.time))
+        return merged
+
+    def merged_series(self, app: Optional[str] = None,
+                      attr: str = "series") -> dict[Any, TimeSeries]:
+        """Merge per-host ``{key: TimeSeries}`` dicts into network-wide series.
+
+        Series from different hosts interleave in time; each merged series is
+        rebuilt in (stable) time order.
+        """
+        merged: dict[Any, TimeSeries] = {}
+        for aggregator in self.aggregators(app).values():
+            for series_key, series in getattr(aggregator, attr, {}).items():
+                target = merged.setdefault(series_key, TimeSeries())
+                target.times.extend(series.times)
+                target.values.extend(series.values)
+        for series in merged.values():
+            order = sorted(range(len(series.times)), key=lambda i: series.times[i])
+            series.times = [series.times[i] for i in order]
+            series.values = [series.values[i] for i in order]
+        return merged

@@ -1,0 +1,253 @@
+"""The fluent :class:`Scenario` builder — one session object per experiment.
+
+The paper's pitch is that one mechanism (tiny packet programs) serves many
+tasks; this module makes one *API* serve many experiments.  A scenario is a
+declarative recipe — topology + stacks + TPP applications + workloads +
+collection — that :meth:`Scenario.run` turns into a deterministic
+discrete-event run::
+
+    from repro.session import Scenario
+    from repro.endhost import PacketFilter
+
+    result = (Scenario(topology="dumbbell", seed=1, hosts_per_side=3)
+              .tpp("queue-monitor",
+                   "PUSH [Switch:SwitchID]\\n"
+                   "PUSH [PacketMetadata:OutputPort]\\n"
+                   "PUSH [Queue:QueueOccupancy]",
+                   filter=PacketFilter(protocol="udp"), sample_frequency=1)
+              .workload("messages", offered_load=0.3, message_bytes=10_000)
+              .collect(on_tpp=lambda tpp, packet: ...)
+              .run(duration_s=1.0))
+
+    result.events_executed, result.tpps_attached, result.merged_series(...)
+
+Every mutator returns ``self``, so scenarios chain; :meth:`build` hands back
+the live :class:`~repro.session.Experiment` for callers that want to drive
+the simulator interactively (probe, fail a link, run some more) before
+calling :meth:`Experiment.finish`.
+
+Topology and workload names resolve through the registries in
+:mod:`repro.session.registry`; apps register their own with
+``@register_topology`` / ``@register_workload``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from repro.endhost import Aggregator, Collector, PacketFilter
+
+from .experiment import Experiment, ExperimentResult
+from .registry import TOPOLOGIES, WORKLOADS
+
+#: Signature of hooks: they receive the live Experiment.
+Hook = Callable[[Experiment], None]
+
+
+@dataclass
+class TppSpec:
+    """One piggy-backed TPP application the scenario will deploy."""
+
+    name: str
+    program: object                               # source text | CompiledTPP | TPP
+    packet_filter: PacketFilter
+    sample_frequency: int = 1
+    num_hops: int = 8
+    priority: int = 0
+    echo_to_source: bool = False
+    aggregator: Optional[Callable[[str, Optional[Collector]], Aggregator]] = None
+    collector: Union[Collector, str, None] = None
+    senders: Optional[list[str]] = None
+    receivers: Optional[list[str]] = None
+    callbacks: list[Callable] = field(default_factory=list)
+
+
+@dataclass
+class WorkloadSpec:
+    """One workload the scenario will instantiate at build time."""
+
+    name: str
+    workload: Union[str, Callable]                # registry name or factory
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+class Scenario:
+    """Fluent builder for a complete, seeded experiment session.
+
+    Args:
+        topology: a registered topology name (see ``Scenario.topologies()``).
+        seed: master seed; one ``random.Random(seed)`` drives every derived
+            seed (workloads, ECMP salting), so equal seeds give
+            byte-identical runs.
+        name: label stamped on the result (defaults to the topology name).
+        stacks: install the §4 end-host stack on every host (default True).
+        hosts: restrict stack installation to this subset of hosts.
+        seed_ecmp: re-salt hash-policy ECMP groups from the master rng
+            (default False: keep the builders' salt-0 placement).
+        **topology_kwargs: forwarded to the topology builder verbatim.
+    """
+
+    def __init__(self, topology: str = "dumbbell", seed: int = 1, *,
+                 name: Optional[str] = None, stacks: bool = True,
+                 hosts: Optional[list[str]] = None, seed_ecmp: bool = False,
+                 **topology_kwargs) -> None:
+        if topology not in TOPOLOGIES:
+            TOPOLOGIES.get(topology)         # raises with the registered menu
+        self.topology_name = topology
+        self.topology_kwargs = dict(topology_kwargs)
+        self.seed = seed
+        self.name = name if name is not None else topology
+        self.install_stacks = stacks
+        self.host_subset = list(hosts) if hosts is not None else None
+        self.seed_ecmp = seed_ecmp
+        self.tpp_specs: list[TppSpec] = []
+        self.workload_specs: list[WorkloadSpec] = []
+        self.setup_hooks: list[Hook] = []
+        self.finalize_hooks: list[Hook] = []
+        self._result_mapper: Optional[Callable[[ExperimentResult], Any]] = None
+
+    # ------------------------------------------------------------- registries
+    @staticmethod
+    def topologies() -> list[str]:
+        """Registered topology names."""
+        return TOPOLOGIES.names()
+
+    @staticmethod
+    def workloads() -> list[str]:
+        """Registered workload names."""
+        return WORKLOADS.names()
+
+    # ---------------------------------------------------------------- fluency
+    def configure(self, **topology_kwargs) -> "Scenario":
+        """Merge extra keyword arguments into the topology builder call."""
+        self.topology_kwargs.update(topology_kwargs)
+        return self
+
+    def tpp(self, name: str, program, *, filter: Optional[PacketFilter] = None,
+            sample_frequency: int = 1, num_hops: int = 8, priority: int = 0,
+            echo_to_source: bool = False,
+            aggregator: Optional[Callable] = None,
+            collector: Union[Collector, str, None] = None,
+            senders: Optional[list[str]] = None,
+            receivers: Optional[list[str]] = None) -> "Scenario":
+        """Declare a piggy-backed TPP application (§4.5's descriptor, fluent).
+
+        ``program`` is TPP assembly source (compiled with ``num_hops``), an
+        already-compiled :class:`~repro.core.compiler.CompiledTPP`, or a raw
+        :class:`~repro.core.packet_format.TPP` template.  ``aggregator`` is a
+        per-host factory ``(host_name, collector) -> Aggregator``; omit it
+        and attach plain callbacks with :meth:`collect` instead.
+        """
+        if any(spec.name == name for spec in self.tpp_specs):
+            raise ValueError(f"a TPP application named {name!r} is already declared")
+        self.tpp_specs.append(TppSpec(
+            name=name, program=program,
+            packet_filter=filter if filter is not None else PacketFilter(),
+            sample_frequency=sample_frequency, num_hops=num_hops,
+            priority=priority, echo_to_source=echo_to_source,
+            aggregator=aggregator, collector=collector,
+            senders=senders, receivers=receivers))
+        return self
+
+    def workload(self, workload: Union[str, Callable], *, name: Optional[str] = None,
+                 **kwargs) -> "Scenario":
+        """Declare a workload: a registered name or a factory callable.
+
+        Factories are called at build time as ``factory(experiment,
+        **kwargs)`` and may return any handle (it lands in
+        ``result.workloads[name]``).  Registered workloads that take a
+        ``seed`` draw one from the scenario's master rng unless given one
+        explicitly.
+        """
+        if isinstance(workload, str):
+            if workload not in WORKLOADS:
+                WORKLOADS.get(workload)      # raises with the registered menu
+            label = name or workload
+        elif callable(workload):
+            label = name or getattr(workload, "__name__", f"workload{len(self.workload_specs)}")
+        else:
+            raise TypeError("workload must be a registered name or a callable factory")
+        if any(spec.name == label for spec in self.workload_specs):
+            raise ValueError(f"a workload named {label!r} is already declared; "
+                             f"pass name= to disambiguate")
+        self.workload_specs.append(WorkloadSpec(name=label, workload=workload,
+                                                kwargs=dict(kwargs)))
+        return self
+
+    def collect(self, on_tpp: Callable, *, app: Optional[str] = None) -> "Scenario":
+        """Attach a completed-TPP callback to a declared TPP application.
+
+        Defaults to the most recently declared app, so
+        ``.tpp(...).collect(on_tpp=...)`` reads naturally.  The callback runs
+        after the app's aggregator (if any) on every receiving host.
+        """
+        spec = self._find_tpp(app)
+        spec.callbacks.append(on_tpp)
+        return self
+
+    def setup(self, hook: Hook) -> "Scenario":
+        """Run ``hook(experiment)`` after build, before the clock starts.
+
+        The escape hatch for wiring Scenario does not model first-class —
+        per-flow controllers, scheduled link failures, custom meters.  Hooks
+        run in declaration order.
+        """
+        self.setup_hooks.append(hook)
+        return self
+
+    def finalize(self, hook: Hook) -> "Scenario":
+        """Run ``hook(experiment)`` at finish, after teardown callbacks.
+
+        Use it to compute derived results into ``experiment.extras``.
+        """
+        self.finalize_hooks.append(hook)
+        return self
+
+    def map_result(self, mapper: Callable[[ExperimentResult], Any]) -> "Scenario":
+        """Post-process the :class:`ExperimentResult` that :meth:`run` returns.
+
+        Lets app modules keep their domain result types
+        (``MicroburstResult``, ``RcpExperimentResult``, ...) while the whole
+        run goes through the session layer.
+        """
+        self._result_mapper = mapper
+        return self
+
+    def _find_tpp(self, app: Optional[str]) -> TppSpec:
+        if not self.tpp_specs:
+            raise ValueError("declare a .tpp(...) application before .collect(...)")
+        if app is None:
+            return self.tpp_specs[-1]
+        for spec in self.tpp_specs:
+            if spec.name == app:
+                return spec
+        raise KeyError(f"no declared TPP application {app!r}; "
+                       f"have {[spec.name for spec in self.tpp_specs]}")
+
+    # ---------------------------------------------------------------- running
+    def build(self, duration_s: Optional[float] = None) -> Experiment:
+        """Construct the live experiment without starting the clock."""
+        return Experiment(self, duration_s=duration_s)
+
+    def run(self, duration_s: Optional[float] = 1.0, *,
+            run_until_idle: bool = False):
+        """Build, simulate for ``duration_s``, tear down, return the result.
+
+        Returns the :class:`ExperimentResult`, or whatever
+        :meth:`map_result`'s mapper turns it into.
+        """
+        result = self.build(duration_s).run(duration_s, run_until_idle=run_until_idle)
+        if self._result_mapper is not None:
+            return self._result_mapper(result)
+        return result
+
+    def copy(self) -> "Scenario":
+        """An independent deep copy (tweak a base scenario per variant)."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Scenario {self.name!r} topology={self.topology_name!r} "
+                f"seed={self.seed} tpps={[s.name for s in self.tpp_specs]} "
+                f"workloads={[s.name for s in self.workload_specs]}>")

@@ -265,3 +265,63 @@ class TestShimBurst:
         assert shim.bursts_sent == 1
         # Deterministic 1-in-2 sampling stamps exactly half the burst.
         assert shim.tpps_attached == 4
+
+
+class TestBatchedPropagationLeg:
+    """The transmit chain schedules (propagation, next-serialisation) in one
+    schedule_many burst; the event order must match the unbatched chain."""
+
+    def test_delivery_times_match_store_and_forward_reference(self):
+        # 10 packets through one bottleneck hop: delivery time of packet i at
+        # the far host must be (i+1) * serialisation + 2 hops of serialisation
+        # pipelining + propagation delays, exactly as the unbatched
+        # schedule()/schedule() chain produced.
+        sim, net = small_net()
+        h0, h3 = net.hosts["h0"], net.hosts["h3"]
+        h3.keep_received_log = True
+        count, size = 10, 700
+        packets = burst("h0", "h3", count, size=size)
+        for packet in packets:
+            h0.send(packet)
+        wire = packets[0].size
+        rate, delay = mbps(100), 50e-6
+        tx = wire * 8.0 / rate
+        net.stop_switch_processes()       # keep run_until_idle finite
+        sim.run_until_idle()
+        assert len(h3.received_log) == count
+        for i, packet in enumerate(h3.received_log):
+            # Serialise i+1 times back-to-back on the access link, then one
+            # store-and-forward serialisation per switch hop (s0, s1), plus
+            # three propagation delays.
+            expected = (i + 1) * tx + 2 * tx + 3 * delay
+            assert packet.delivered_at == pytest.approx(expected, rel=1e-12)
+        # FIFO order is preserved.
+        assert [p.flow_id for p in h3.received_log] == \
+            [p.flow_id for p in packets]
+
+    def test_bench_workload_event_totals_batch_vs_unbatched_injection(self):
+        # The bench_event_throughput workload (scaled down) must execute the
+        # exact same event sequence whether bursts enter through send_burst
+        # or a loop of host.send calls — and therefore land on identical
+        # event and TPP-hop totals.
+        from repro.net.link import gbps
+        from repro.session import Scenario
+
+        def run(use_batch: bool):
+            experiment = (
+                Scenario("fat-tree", seed=1, k=4, link_rate_bps=gbps(1),
+                         link_delay_s=5e-6)
+                .tpp("event-throughput",
+                     "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueOccupancy]",
+                     num_hops=8, filter=PacketFilter(protocol="udp"))
+                .workload("cross-pod-bursts", use_batch=use_batch)
+                .build())
+            experiment.sim.run(until=5e-4)
+            tpp_hops = sum(switch.tcpu.tpps_executed
+                           for switch in experiment.network.switches.values())
+            delivered = tuple(sorted(
+                (name, host.packets_received)
+                for name, host in experiment.network.hosts.items()))
+            return experiment.sim.events_executed, tpp_hops, delivered
+
+        assert run(True) == run(False)
