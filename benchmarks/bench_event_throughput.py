@@ -23,15 +23,28 @@ every run and on every machine; only the wall-clock rates vary.  The
 ``--no-batch`` flag drives the identical workload through per-packet
 ``host.send`` calls for an apples-to-apples view of what batching buys.
 
+TCPU engines
+------------
+
+``--traces`` runs the workload with the compiled-trace TCPU
+(:mod:`repro.core.trace`) instead of the interpreter.
+``--compare-traces`` runs *both* engines back to back, asserts they land
+on byte-identical event/hop/packet totals, reports the events/sec
+speedup, and records the comparison in a JSON artifact
+(``BENCH_tcpu_trace.json`` by default, see ``--output``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_event_throughput.py [--quick]
     PYTHONPATH=src python benchmarks/bench_event_throughput.py --duration 0.02
+    PYTHONPATH=src python benchmarks/bench_event_throughput.py --compare-traces --quick
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import time
 
 from repro.endhost.filters import PacketFilter
@@ -45,12 +58,16 @@ PAYLOAD_BYTES = 700
 
 TPP_SOURCE = "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueOccupancy]"
 
+#: The events/sec speedup --compare-traces is expected to demonstrate.
+EXPECTED_TRACE_SPEEDUP = 1.15
 
-def build_workload(use_batch: bool = True):
+
+def build_workload(use_batch: bool = True, compile_traces: bool = False):
     """The 3-tier topology plus per-host burst generators, via one Scenario."""
     experiment = (
         Scenario("fat-tree", seed=1, name="event-throughput",
-                 k=4, link_rate_bps=gbps(1), link_delay_s=5e-6)
+                 k=4, link_rate_bps=gbps(1), link_delay_s=5e-6,
+                 compile_traces=compile_traces)
         .tpp("event-throughput", TPP_SOURCE, num_hops=8,
              filter=PacketFilter(protocol="udp"))
         .workload("cross-pod-bursts", burst_packets=BURST_PACKETS,
@@ -60,8 +77,9 @@ def build_workload(use_batch: bool = True):
     return experiment.sim, experiment.network
 
 
-def run_once(duration_s: float, use_batch: bool = True) -> dict:
-    sim, net = build_workload(use_batch=use_batch)
+def run_once(duration_s: float, use_batch: bool = True,
+             compile_traces: bool = False) -> dict:
+    sim, net = build_workload(use_batch=use_batch, compile_traces=compile_traces)
     start = time.perf_counter()
     sim.run(until=duration_s)
     wall_s = time.perf_counter() - start
@@ -69,6 +87,7 @@ def run_once(duration_s: float, use_batch: bool = True) -> dict:
     instructions = sum(switch.tcpu.instructions_executed
                        for switch in net.switches.values())
     forwarded = sum(switch.packets_forwarded for switch in net.switches.values())
+    trace_execs = sum(switch.tcpu.trace_executions for switch in net.switches.values())
     return {
         "duration_s": duration_s,
         "wall_s": wall_s,
@@ -78,7 +97,90 @@ def run_once(duration_s: float, use_batch: bool = True) -> dict:
         "tpp_hops_per_s": tpp_hops / wall_s,
         "instructions": instructions,
         "packets_forwarded": forwarded,
+        "compile_traces": compile_traces,
+        "trace_executions": trace_execs,
+        "traces_compiled": sum(switch.tcpu.traces_compiled
+                               for switch in net.switches.values()),
     }
+
+
+def run_best(duration_s: float, repeat: int, use_batch: bool = True,
+             compile_traces: bool = False) -> dict:
+    """Best (highest events/sec) of ``repeat`` runs."""
+    best = None
+    for _ in range(max(1, repeat)):
+        result = run_once(duration_s, use_batch=use_batch,
+                          compile_traces=compile_traces)
+        if best is None or result["events_per_s"] > best["events_per_s"]:
+            best = result
+    return best
+
+
+def print_result(result: dict, use_batch: bool) -> None:
+    mode = "batched" if use_batch else "per-packet"
+    engine = "compiled traces" if result["compile_traces"] else "interpreter"
+    print(f"3-tier fat-tree (k=4), {result['duration_s'] * 1e3:g} ms simulated, "
+          f"{mode} injection, TCPU engine: {engine}")
+    print(f"  events executed     : {result['events']:,}")
+    print(f"  TPP hops executed   : {result['tpp_hops']:,} "
+          f"({result['instructions']:,} instructions)")
+    print(f"  packets forwarded   : {result['packets_forwarded']:,}")
+    print(f"  wall time           : {result['wall_s']:.3f} s")
+    print(f"  events/sec          : {result['events_per_s']:,.0f}")
+    print(f"  TPP-hops/sec        : {result['tpp_hops_per_s']:,.0f}")
+
+
+def compare_traces(duration_s: float, repeat: int, use_batch: bool,
+                   output: str) -> None:
+    """Interpreter vs compiled traces on the identical workload + artifact."""
+    interpreted = run_best(duration_s, repeat, use_batch=use_batch,
+                           compile_traces=False)
+    compiled = run_best(duration_s, repeat, use_batch=use_batch,
+                        compile_traces=True)
+
+    # The compiled engine must change nothing but speed.
+    for field in ("events", "tpp_hops", "instructions", "packets_forwarded"):
+        assert interpreted[field] == compiled[field], \
+            f"{field} diverged: interpreted {interpreted[field]:,} " \
+            f"vs compiled {compiled[field]:,}"
+    assert compiled["trace_executions"] == compiled["tpp_hops"], \
+        "every TPP hop should have taken the compiled trace"
+
+    speedup = compiled["events_per_s"] / interpreted["events_per_s"]
+    print_result(interpreted, use_batch)
+    print()
+    print_result(compiled, use_batch)
+    print()
+    print(f"compiled-trace speedup: {speedup:.3f}x events/sec "
+          f"({interpreted['events_per_s']:,.0f} -> {compiled['events_per_s']:,.0f}); "
+          f"identical totals ({compiled['events']:,} events / "
+          f"{compiled['tpp_hops']:,} TPP hops)")
+    if speedup < EXPECTED_TRACE_SPEEDUP:
+        print(f"  WARNING: below the expected {EXPECTED_TRACE_SPEEDUP:.2f}x "
+              f"(noisy machine?)")
+
+    artifact = {
+        "benchmark": "bench_event_throughput --compare-traces",
+        "workload": {
+            "topology": "fat-tree k=4 (20 switches, 16 hosts)",
+            "tpp": TPP_SOURCE.replace("\n", "; "),
+            "duration_s": duration_s,
+            "burst_packets": BURST_PACKETS,
+            "burst_interval_s": BURST_INTERVAL_S,
+            "payload_bytes": PAYLOAD_BYTES,
+            "use_batch": use_batch,
+            "repeat": repeat,
+        },
+        "python": platform.python_version(),
+        "interpreted": interpreted,
+        "compiled": compiled,
+        "events_per_s_speedup": round(speedup, 4),
+        "identical_totals": True,
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"  artifact written    : {output}")
 
 
 def main() -> None:
@@ -89,6 +191,15 @@ def main() -> None:
                         help="CI smoke mode: 2ms of simulated time")
     parser.add_argument("--no-batch", action="store_true",
                         help="drive the workload through per-packet sends")
+    parser.add_argument("--traces", action="store_true",
+                        help="run with the compiled-trace TCPU engine")
+    parser.add_argument("--compare-traces", action="store_true",
+                        help="run interpreter AND compiled traces, assert "
+                             "identical totals, report speedup, write the "
+                             "JSON artifact")
+    parser.add_argument("--output", default="BENCH_tcpu_trace.json",
+                        help="artifact path for --compare-traces "
+                             "(default: BENCH_tcpu_trace.json)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions (best wall-clock rate is reported)")
     args = parser.parse_args()
@@ -96,27 +207,22 @@ def main() -> None:
     duration = 2e-3 if args.quick else args.duration
     use_batch = not args.no_batch
 
-    best = None
-    for _ in range(max(1, args.repeat)):
-        result = run_once(duration, use_batch=use_batch)
-        if best is None or result["events_per_s"] > best["events_per_s"]:
-            best = result
+    if args.compare_traces:
+        compare_traces(duration, args.repeat, use_batch, args.output)
+        return
 
-    mode = "batched" if use_batch else "per-packet"
-    print(f"3-tier fat-tree (k=4), {duration * 1e3:g} ms simulated, {mode} injection")
-    print(f"  events executed     : {best['events']:,}")
-    print(f"  TPP hops executed   : {best['tpp_hops']:,} "
-          f"({best['instructions']:,} instructions)")
-    print(f"  packets forwarded   : {best['packets_forwarded']:,}")
-    print(f"  wall time           : {best['wall_s']:.3f} s")
-    print(f"  events/sec          : {best['events_per_s']:,.0f}")
-    print(f"  TPP-hops/sec        : {best['tpp_hops_per_s']:,.0f}")
+    best = run_best(duration, args.repeat, use_batch=use_batch,
+                    compile_traces=args.traces)
+    print_result(best, use_batch)
 
     # Determinism guard: the simulated side of the workload must not depend
-    # on wall-clock or batching.  When batching, the per-packet variant has
-    # to land on exactly the same event totals (the PR's core contract);
-    # otherwise a plain re-run checks repeatability.
-    check = run_once(duration, use_batch=False)
+    # on wall-clock, batching, or the TCPU engine.  The check run flips one
+    # lever from the measured run — the engine when batching is on (the
+    # default), else batching — and must land on exactly the same totals.
+    if use_batch:
+        check = run_once(duration, use_batch=True, compile_traces=not args.traces)
+    else:
+        check = run_once(duration, use_batch=True, compile_traces=args.traces)
     assert check["events"] == best["events"], "event count must be deterministic"
     assert check["tpp_hops"] == best["tpp_hops"], "TPP hops must be deterministic"
 

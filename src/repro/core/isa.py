@@ -25,6 +25,15 @@ Multi-operand instructions use *implicit adjacency* in packet memory:
   value is always read from the following word.
 * ``CEXEC [X], [Packet:Hop[k]]`` reads the mask from word ``k`` and the
   comparison value from word ``k+1``.
+
+Execution semantics — what each opcode does at a hop, in what order it can
+fail, and how CSTORE/CEXEC gate the rest of the program — live with the
+engine in :mod:`repro.core.tcpu` (see its opcode-semantics table).  The
+opcode classification sets below (:data:`WRITE_OPCODES`,
+:data:`READ_OPCODES`, :data:`PACKET_WRITE_OPCODES`,
+:data:`CONDITIONAL_OPCODES`) are what the control plane's static analysis,
+the write-disable knob, and the compiled-trace eligibility check
+(:func:`repro.core.static_analysis.trace_ineligibility`) key off.
 """
 
 from __future__ import annotations

@@ -32,15 +32,66 @@ Semantics implemented here (per §3.2/§3.3):
   was suppressed by the administrator's write-disable knob);
 * write instructions can be disabled wholesale by the administrator (§4.3).
 
+Opcode semantics at a glance
+----------------------------
+
+========  ============================================  =======================
+opcode    effect                                        failure modes
+========  ============================================  =======================
+NOP       nothing                                       —
+PUSH      switch word → packet memory at SP; SP += w    ``SKIPPED_NO_MEMORY``
+                                                        (address absent),
+                                                        ``SKIPPED_PACKET_FULL``
+                                                        (stack full)
+POP       packet word at SP → switch memory; SP += w    ``SKIPPED_PACKET_FULL``
+                                                        (stack exhausted),
+                                                        ``SKIPPED_NO_MEMORY``
+                                                        (absent/read-only),
+                                                        ``SKIPPED_WRITE_DISABLED``
+LOAD      switch word → ``Packet:Hop[k]``               like PUSH
+STORE     ``Packet:Hop[k]`` → switch memory             like POP
+CSTORE    compare-and-swap; observed value written      ``FAILED_CONDITION``
+          back to ``Hop[k]``; failure halts the rest    halts later instructions
+CEXEC     continue only if ``(switch & mask) == val``   ``FAILED_CONDITION``
+                                                        halts later instructions
+========  ============================================  =======================
+
+(``w`` is the TPP word size, 2 or 4 bytes; SP is the stack pointer.  Check
+precedence matters and is part of the contract: reads report
+``SKIPPED_NO_MEMORY`` before looking at packet room, writes report
+``SKIPPED_PACKET_FULL`` before attempting the switch write.)
+
 Execution hot path
 ------------------
 
-Opcodes dispatch through a handler table built once per TCPU instance
-instead of an if-ladder, and :meth:`TCPU.execute_program` additionally
-caches the resolved ``(handler, instruction)`` plan and word mask per unique
-program, so switches that see the same TPP template on every packet of a
-flow pay the opcode resolution exactly once.  :meth:`TCPU.execute` keeps the
-uncached semantics for one-off programs; both produce identical results.
+Three engines, one semantics:
+
+1. :meth:`TCPU.execute` — the reference interpreter: resolves each opcode
+   through the handler table and runs the uncached step list.  One-off
+   programs and tests use it.
+2. :meth:`TCPU.execute_program` — the plan cache: the resolved
+   ``(handler, instruction)`` list and word mask are cached per unique
+   program, so switches that see the same TPP template on every packet of a
+   flow pay opcode resolution exactly once.
+3. The **compiled trace** (``compile_traces=True``): eligible programs are
+   lowered once by :mod:`repro.core.trace` into a single synthesized
+   function with no dispatch, no operand decoding, and one inlined bounds
+   check per instruction; ineligible programs (conditionals, hazard-laden
+   packet layouts) silently fall back to engine 2.
+
+All three produce byte-identical results — the differential sweep in
+``tests/test_trace.py`` enforces it.
+
+Both caches are keyed by *identity* of the (frozen, immutable)
+:class:`~repro.core.isa.Instruction` objects plus every value the cached
+artifact is specialized on (word size; for traces also addressing mode,
+hop size, and the write-enable knob).  Identity keys are sound only
+because each cache entry holds strong references to its instructions:
+while an entry lives, its instructions' ids cannot be reused, so a key
+match implies the probing program *is* those exact instruction objects.
+Mutating a TPP's instruction list therefore always changes the key — a
+mutated program can never hit a stale plan (regression-tested in
+``tests/test_trace.py``).
 """
 
 from __future__ import annotations
@@ -125,7 +176,7 @@ class InstructionStatus(enum.Enum):
     FAILED_CONDITION = "failed_condition"
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionResult:
     """Outcome of executing one TPP at one hop."""
 
@@ -158,12 +209,24 @@ class TCPU:
             §4.3.  Reads still execute, and CSTORE still writes the observed
             switch value back into packet memory so end-hosts see a coherent
             failure (§3.3.3).
+        compile_traces: when True, :meth:`execute_program` lowers eligible
+            programs through :mod:`repro.core.trace` into per-program
+            compiled traces and executes those; ineligible programs fall
+            back to the interpreted plan path.  Results are byte-identical
+            either way.  The flag may be flipped at any time — both engines
+            share no mutable state beyond the counters.
     """
 
-    def __init__(self, write_enabled: bool = True) -> None:
-        self.write_enabled = write_enabled
+    def __init__(self, write_enabled: bool = True,
+                 compile_traces: bool = False) -> None:
+        self._write_enabled = write_enabled
+        self.compile_traces = compile_traces
         self.tpps_executed = 0
         self.instructions_executed = 0
+        # Trace-engine telemetry (benchmarks and tests read these).
+        self.traces_compiled = 0
+        self.trace_executions = 0
+        self.trace_fallbacks = 0
         # Opcode dispatch table, built once; the per-instruction hot path is
         # a single dict lookup instead of an if-ladder.
         self._dispatch = {
@@ -175,8 +238,35 @@ class TCPU:
             Opcode.CSTORE: self._op_cstore,
             Opcode.CEXEC: self._op_cexec,
         }
-        # (instructions tuple, word_bytes) -> ([(handler, instruction)], mask).
+        # Identity-keyed caches (see the module docstring for the soundness
+        # argument): every entry pins its Instruction objects via a strong
+        # reference, so an id-tuple key can only match the exact objects it
+        # was built from.
+        # (word_bytes, *ids) -> ([(handler, instruction)], mask).
         self._plan_cache: dict[tuple, tuple[list, int]] = {}
+        # Program-level trace cache: (word_bytes, mode, hop_size, *ids) ->
+        # (CompiledTrace | None, pinned instructions).  write_enabled is baked
+        # into each trace; the write_enabled setter clears both trace caches.
+        self._trace_programs: dict[tuple, tuple] = {}
+        # Memory-bound trace cache: program key + id(memory) -> (bound fn |
+        # None, pinned instructions, pinned memory).  Each TCPU executes
+        # against one switch's MemoryInterface in practice, so this holds
+        # one binding per program.
+        self._trace_cache: dict[tuple, tuple] = {}
+
+    @property
+    def write_enabled(self) -> bool:
+        """The §4.3 write-disable knob.  Compiled traces bake it in, so the
+        setter drops every cached trace; flipping it mid-run is safe (and
+        rare — it is an administrative action)."""
+        return self._write_enabled
+
+    @write_enabled.setter
+    def write_enabled(self, enabled: bool) -> None:
+        if enabled != self._write_enabled:
+            self._trace_programs.clear()
+            self._trace_cache.clear()
+        self._write_enabled = enabled
 
     # ------------------------------------------------------------------ main
     def execute(self, tpp: TPP, memory: MemoryInterface,
@@ -190,23 +280,66 @@ class TCPU:
 
     def execute_program(self, tpp: TPP, memory: MemoryInterface,
                         context: PacketContext) -> ExecutionResult:
-        """Fast path: like :meth:`execute`, with the opcode-resolution plan
-        and word mask cached per unique program.
+        """Fast path: like :meth:`execute`, with per-program caching.
 
-        TPPs stamped from one template share their (frozen, hashable)
+        TPPs stamped from one template share their (frozen, immutable)
         :class:`~repro.core.isa.Instruction` objects across clones, so every
-        packet of an instrumented flow after the first hits the cache.
+        packet of an instrumented flow after the first hits the cache.  With
+        ``compile_traces`` set, eligible programs run their compiled trace
+        (see :mod:`repro.core.trace`); everything else runs the cached
+        interpreter plan.  All paths return identical results.
         """
-        key = (tuple(tpp.instructions), tpp.word_bytes)
+        instructions = tpp.instructions
+        if self.compile_traces:
+            key = (tpp.word_bytes, tpp.mode, tpp.hop_size,
+                   id(memory), *map(id, instructions))
+            entry = self._trace_cache.get(key)
+            if entry is None:
+                entry = self._bind_trace(tpp, memory, key)
+            fn = entry[0]
+            if fn is not None:
+                self.trace_executions += 1
+                return fn(self, tpp, context)
+            self.trace_fallbacks += 1
+        key = (tpp.word_bytes, *map(id, instructions))
         plan = self._plan_cache.get(key)
         if plan is None:
             dispatch = self._dispatch
+            # The steps pin the instruction objects, keeping the id key sound.
             plan = ([(dispatch[instruction.opcode], instruction)
-                     for instruction in tpp.instructions],
+                     for instruction in instructions],
                     (1 << (8 * tpp.word_bytes)) - 1)
             if len(self._plan_cache) < _PLAN_CACHE_LIMIT:
                 self._plan_cache[key] = plan
         return self._run_steps(plan[0], plan[1], tpp, memory, context)
+
+    def _bind_trace(self, tpp: TPP, memory: MemoryInterface, key: tuple) -> tuple:
+        """Lower ``tpp``'s program (once) and bind it to ``memory`` (once).
+
+        Both cache layers pin every object whose id appears in their key
+        (instructions, and for bindings the memory interface), keeping the
+        identity keys sound; ineligible programs are cached as negative
+        entries so the fallback decision is also O(1).
+        """
+        from . import trace  # deferred: repro.core.trace imports this module
+
+        program_key = key[:3] + key[4:]          # drop id(memory)
+        program = self._trace_programs.get(program_key)
+        if program is None:
+            compiled = trace.compile_trace(
+                tpp.instructions, word_bytes=tpp.word_bytes, mode=tpp.mode,
+                hop_size=tpp.hop_size, write_enabled=self.write_enabled)
+            if compiled is not None:
+                self.traces_compiled += 1
+            program = (compiled, tuple(tpp.instructions))
+            if len(self._trace_programs) < _PLAN_CACHE_LIMIT:
+                self._trace_programs[program_key] = program
+        compiled, instructions = program
+        fn = compiled.bind(memory) if compiled is not None else None
+        entry = (fn, instructions, memory)
+        if len(self._trace_cache) < _PLAN_CACHE_LIMIT:
+            self._trace_cache[key] = entry
+        return entry
 
     def _run_steps(self, steps: list, word_mask: int, tpp: TPP,
                    memory: MemoryInterface, context: PacketContext) -> ExecutionResult:

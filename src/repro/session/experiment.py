@@ -108,6 +108,11 @@ class Experiment:
         self.network: Network = self.topology.network
         if scenario.seed_ecmp:
             self._salt_ecmp_groups()
+        if scenario.compile_traces:
+            # Flip every switch's TCPU onto the compiled-trace engine before
+            # any packet moves; byte-identical results, faster hot path.
+            for switch in self.network.switches.values():
+                switch.compile_traces = True
 
         self.stacks: dict[str, "EndHostStack"] = {}
         if scenario.install_stacks:
@@ -243,6 +248,12 @@ class Experiment:
             for aggregator in deployed.aggregators.values():
                 received += aggregator.tpps_received
                 truncated += aggregator.tpps_truncated
+        traces = trace_runs = trace_falls = 0
+        for switch in self.network.switches.values():
+            tcpu = switch.tcpu
+            traces += tcpu.traces_compiled
+            trace_runs += tcpu.trace_executions
+            trace_falls += tcpu.trace_fallbacks
         return ExperimentResult(
             scenario=self.scenario.name,
             topology=self.scenario.topology_name,
@@ -257,6 +268,9 @@ class Experiment:
             instrumentation_overhead_bytes=overhead,
             tpps_received=received,
             tpps_truncated=truncated,
+            traces_compiled=traces,
+            trace_executions=trace_runs,
+            trace_fallbacks=trace_falls,
             apps=dict(self.apps),
             collectors=dict(self.collectors),
             workloads=dict(self.workloads),
@@ -291,6 +305,11 @@ class ExperimentResult:
     # Aggregator-side totals, summed across every deployed application.
     tpps_received: int
     tpps_truncated: int
+    # Compiled-trace engine telemetry, summed across every switch TCPU
+    # (all zero unless the scenario was built with compile_traces=True).
+    traces_compiled: int = 0
+    trace_executions: int = 0
+    trace_fallbacks: int = 0
     apps: dict[str, DeployedApplication] = field(default_factory=dict)
     collectors: dict[str, Collector] = field(default_factory=dict)
     workloads: dict[str, Any] = field(default_factory=dict)

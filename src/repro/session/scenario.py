@@ -26,6 +26,30 @@ the live :class:`~repro.session.Experiment` for callers that want to drive
 the simulator interactively (probe, fail a link, run some more) before
 calling :meth:`Experiment.finish`.
 
+The fixed build order
+---------------------
+
+Building an experiment always performs these steps, in this order, with
+every random draw taken from one ``random.Random(seed)``:
+
+1. **topology** — the registered builder runs with the scenario's kwargs;
+2. **ECMP salting** — with ``seed_ecmp=True``, hash-policy groups are
+   re-salted from the master rng;
+3. **trace engine** — with ``compile_traces=True``, every switch TCPU is
+   flipped to the compiled-trace engine (byte-identical results, see
+   :mod:`repro.core.trace`);
+4. **stacks** — the §4 end-host stack is installed on (a subset of) hosts;
+5. **TPP deployments** — each ``.tpp(...)`` spec, in declaration order;
+6. **workloads** — each ``.workload(...)`` spec, in declaration order
+   (registered workloads draw their child seed here, also in order);
+7. **setup hooks** — each ``.setup(...)`` hook, in declaration order.
+
+Because the order is fixed and the seed flows from one rng, equal
+scenarios with equal seeds produce byte-identical event sequences — the
+determinism contract ``tests/test_session.py`` asserts.  Declaration
+order is therefore *part of a scenario's identity*: swapping two
+workloads changes their seeds and may change the run.
+
 Topology and workload names resolve through the registries in
 :mod:`repro.session.registry`; apps register their own with
 ``@register_topology`` / ``@register_workload``.
@@ -86,12 +110,17 @@ class Scenario:
         hosts: restrict stack installation to this subset of hosts.
         seed_ecmp: re-salt hash-policy ECMP groups from the master rng
             (default False: keep the builders' salt-0 placement).
+        compile_traces: run every switch TCPU with the compiled-trace
+            engine (:mod:`repro.core.trace`).  Results are byte-identical
+            to the interpreted default; only wall-clock speed changes, so
+            experiments can flip this freely for A/B throughput runs.
         **topology_kwargs: forwarded to the topology builder verbatim.
     """
 
     def __init__(self, topology: str = "dumbbell", seed: int = 1, *,
                  name: Optional[str] = None, stacks: bool = True,
                  hosts: Optional[list[str]] = None, seed_ecmp: bool = False,
+                 compile_traces: bool = False,
                  **topology_kwargs) -> None:
         if topology not in TOPOLOGIES:
             TOPOLOGIES.get(topology)         # raises with the registered menu
@@ -102,6 +131,7 @@ class Scenario:
         self.install_stacks = stacks
         self.host_subset = list(hosts) if hosts is not None else None
         self.seed_ecmp = seed_ecmp
+        self.compile_traces = compile_traces
         self.tpp_specs: list[TppSpec] = []
         self.workload_specs: list[WorkloadSpec] = []
         self.setup_hooks: list[Hook] = []

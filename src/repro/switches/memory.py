@@ -13,6 +13,7 @@ and a packet's output port / queue / path tag are writable (the latter is how
 
 from __future__ import annotations
 
+import operator
 from typing import TYPE_CHECKING, Optional
 
 from repro.core import addressing
@@ -20,6 +21,21 @@ from repro.core.tcpu import PacketContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from .switch import TPPSwitch
+
+#: Field-level readers mirroring :meth:`PacketContext.metadata_word` (same
+#: offsets, same values); used by :meth:`SwitchMemory.read_resolver`.
+_METADATA_RESOLVERS = {
+    0: lambda context: context.input_port,
+    1: lambda context: context.output_port,
+    2: lambda context: context.output_queue,
+    3: lambda context: context.matched_entry_id,
+    4: lambda context: context.matched_entry_version,
+    5: lambda context: context.matched_stage,
+    6: lambda context: context.hop_number,
+    7: lambda context: context.path_id,
+    8: lambda context: context.packet_length,
+    9: lambda context: int(context.arrival_time * 1e6) & 0xFFFFFFFF,
+}
 
 
 class SwitchMemory:
@@ -51,6 +67,83 @@ class SwitchMemory:
         if reader is None:
             return None
         return reader(decoded, context)
+
+    def read_resolver(self, address: int):
+        """An address-specialized reader: ``resolver(context)`` ≡ ``read(address, context)``.
+
+        The compiled-trace engine (:mod:`repro.core.trace`) binds one of
+        these per read instruction, paying the address decode and region
+        dispatch once per (program, switch) instead of once per packet.  The
+        hottest regions (switch globals, packet-relative queue statistics,
+        packet metadata) get field-level closures that read the same live
+        state the generic ladder would; everything else wraps the per-region
+        reader ``read`` itself dispatches to, so the paths cannot diverge —
+        the differential sweep in ``tests/test_trace.py`` runs both engines
+        over every specialized field.
+        """
+        try:
+            decoded = addressing.decode(address)
+        except addressing.AddressError:
+            return lambda context: None
+        if decoded.region == "switch":
+            return self._resolve_switch_field(decoded.field_offset)
+        if decoded.region == "dynamic_queue":
+            return self._resolve_dynamic_queue_field(decoded.field_offset)
+        if decoded.region == "packet_metadata":
+            return _METADATA_RESOLVERS.get(decoded.field_offset,
+                                           lambda context: None)
+        reader = self._readers.get(decoded.region)
+        if reader is None:
+            return lambda context: None
+        return lambda context, _reader=reader, _decoded=decoded: _reader(_decoded, context)
+
+    def _resolve_switch_field(self, offset: int):
+        """Field-level closures mirroring :meth:`_read_switch` branch for branch."""
+        switch = self.switch
+        fields = addressing.SWITCH_FIELDS
+        if offset == fields["SwitchID"]:
+            return lambda context: switch.switch_id
+        if offset == fields["VersionNumber"]:
+            return lambda context: switch.forwarding_version
+        if offset == fields["Clock"]:
+            return lambda context: int(switch.sim.now * switch.clock_hz) & 0xFFFFFFFF
+        if offset == fields["ClockFrequency"]:
+            return lambda context: int(switch.clock_hz)
+        if offset == fields["VendorID"]:
+            return lambda context: switch.vendor_id
+        if offset == fields["NumPorts"]:
+            return lambda context: len(switch.ports)
+        if offset == fields["Uptime"]:
+            return lambda context: int(switch.sim.now * 1000)
+        return lambda context: None
+
+    def _resolve_dynamic_queue_field(self, offset: int):
+        """Field-level closures mirroring :meth:`_read_queue` for the
+        packet-relative queue region (port/queue taken from the context)."""
+        fields = addressing.QUEUE_FIELDS
+        attr = {
+            fields["QueueOccupancy"]: "occupancy_packets",
+            fields["QueueOccupancyBytes"]: "occupancy_bytes",
+            fields["Drop-Packets"]: "packets_dropped_total",
+            fields["Drop-Bytes"]: "bytes_dropped_total",
+            fields["TX-Packets"]: "packets_dequeued_total",
+            fields["TX-Bytes"]: "bytes_dequeued_total",
+        }.get(offset)
+        if attr is None:
+            return lambda context: None
+        get_field = operator.attrgetter("queue." + attr)
+        ports = self.switch.ports          # the live list object; grows in place
+
+        def read_field(context):
+            port_index = context.output_port
+            if not 0 <= port_index < len(ports):
+                return None
+            if context.output_queue not in (0, None):
+                # One queue per port (see _read_queue): other ids fail gracefully.
+                return None
+            return get_field(ports[port_index])
+
+        return read_field
 
     def _read_switch_region(self, decoded, context: PacketContext) -> Optional[int]:
         return self._read_switch(decoded.field_offset)

@@ -40,6 +40,7 @@ class TPPSwitch(Node):
                  num_stages: int = 4,
                  tpp_enabled: bool = True,
                  write_enabled: bool = True,
+                 compile_traces: bool = False,
                  forwarding_latency_s: float = 0.0,
                  utilization_interval_s: float = DEFAULT_UTILIZATION_INTERVAL_S,
                  utilization_ewma_alpha: float = 0.0,
@@ -57,7 +58,10 @@ class TPPSwitch(Node):
         self.pipeline = Pipeline(num_stages=num_stages)
         self.group_table = GroupTable()
         self.memory = SwitchMemory(self)
-        self.tcpu = TCPU(write_enabled=write_enabled)
+        # compile_traces selects the compiled-trace TCPU engine (see
+        # repro.core.trace); it may also be toggled later through the
+        # ``compile_traces`` property — the Scenario layer does exactly that.
+        self.tcpu = TCPU(write_enabled=write_enabled, compile_traces=compile_traces)
         self.parser = TPPParser()
         self.port_stats: list[PortStats] = []
         # Same-flow forwarding memo (semantics-preserving; see pipeline docs).
@@ -85,6 +89,15 @@ class TPPSwitch(Node):
     def link_id(self, port_index: int) -> int:
         """Globally-unique-ish link identifier exposed as ``[Link:ID]``."""
         return (self.switch_id * 64 + port_index) & 0xFFFF
+
+    @property
+    def compile_traces(self) -> bool:
+        """Whether this switch's TCPU runs compiled per-program traces."""
+        return self.tcpu.compile_traces
+
+    @compile_traces.setter
+    def compile_traces(self, enabled: bool) -> None:
+        self.tcpu.compile_traces = enabled
 
     @property
     def forwarding_version(self) -> int:

@@ -1,0 +1,417 @@
+"""Differential tests for the compiled TCPU trace engine (repro.core.trace).
+
+The compiled trace must be *instruction-for-instruction* identical to the
+interpreter — same statuses, same packet memory, same switch-memory writes,
+same counters — on every program, eligible or not.  This file holds:
+
+* a property-style sweep running randomized valid programs through the
+  interpreter, the plan-cached interpreter, and the compiled trace
+  (``REPRO_HYPOTHESIS_PROFILE=quick`` shrinks the sweep for CI's docs job);
+* resolver equivalence checks against a real switch's ``SwitchMemory``;
+* regression tests for the cache-keying contract: a mutated (non-template)
+  program, changed word size / addressing mode / hop size, or a flipped
+  write-enable knob can never hit a stale plan or trace;
+* plumbing tests for the ``compile_traces`` toggle through ``TPPSwitch``,
+  ``DataplaneShim`` eligibility accounting, and ``Scenario``.
+"""
+
+import os
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import addressing
+from repro.core.compiler import compile_tpp
+from repro.core.isa import Instruction, Opcode
+from repro.core.packet_format import AddressingMode, make_tpp
+from repro.core.static_analysis import trace_ineligibility
+from repro.core.tcpu import InstructionStatus, PacketContext, TCPU
+from repro.core.trace import compile_trace, trace_eligible
+from repro.endhost.filters import PacketFilter
+from repro.net.link import gbps
+from repro.session import Scenario
+
+settings.register_profile("quick", max_examples=15)
+settings.register_profile("default", max_examples=80)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
+
+
+class DictMemory:
+    """MemoryInterface backed by a dict, with optional read-only addresses."""
+
+    def __init__(self, values=None, read_only=()):
+        self.values = dict(values or {})
+        self.read_only = set(read_only)
+
+    def read(self, address, context):
+        return self.values.get(address)
+
+    def write(self, address, value, context):
+        if address in self.read_only or address not in self.values:
+            return False
+        self.values[address] = value
+        return True
+
+
+#: Address pool: some populated, one read-only, one absent.
+ADDRESSES = [0x0000, 0x0001, 0x1010, 0x1011, 0xBEEF]
+PRESENT = {0x0000: 7, 0x0001: 0x1234, 0x1010: 0, 0x1011: 0xFFFF}
+READ_ONLY = {0x0001}
+
+addresses = st.sampled_from(ADDRESSES)
+trace_opcodes = st.sampled_from([Opcode.NOP, Opcode.PUSH, Opcode.POP,
+                                 Opcode.LOAD, Opcode.STORE])
+all_opcodes = st.sampled_from(list(Opcode))
+
+
+def programs(opcodes):
+    return st.lists(
+        st.builds(Instruction, opcode=opcodes, address=addresses,
+                  packet_offset=st.integers(min_value=0, max_value=4)),
+        min_size=1, max_size=5)
+
+
+def run_all_engines(program, *, word_bytes, mode, num_hops, hop_number,
+                    stack_pointer, fill, write_enabled=True):
+    """Run one program through interpreter / plan cache / compiled trace.
+
+    Returns the three (result, tpp, memory) triples; inputs are cloned so
+    each engine sees identical state.
+    """
+    values_per_hop = 3                      # room for offsets 0..2, plus slack
+    template = make_tpp(program, num_hops=num_hops, mode=mode,
+                        word_bytes=word_bytes, values_per_hop=values_per_hop)
+    rng = random.Random(fill)
+    template.memory[:] = bytes(rng.randrange(256) for _ in range(len(template.memory)))
+    template.hop_number = hop_number
+    template.stack_pointer = stack_pointer
+
+    outcomes = []
+    for engine in ("execute", "plan", "trace"):
+        tpp = template.clone()
+        memory = DictMemory(PRESENT, READ_ONLY)
+        context = PacketContext(input_port=1, output_port=2, packet_length=700,
+                                arrival_time=1.5)
+        tcpu = TCPU(write_enabled=write_enabled,
+                    compile_traces=(engine == "trace"))
+        if engine == "execute":
+            result = tcpu.execute(tpp, memory, context)
+        else:
+            result = tcpu.execute_program(tpp, memory, context)
+        outcomes.append((result, tpp, memory, tcpu))
+    return outcomes
+
+
+def assert_engines_agree(outcomes):
+    reference = outcomes[0]
+    for other in outcomes[1:]:
+        ref_result, ref_tpp, ref_memory, ref_tcpu = reference
+        result, tpp, memory, tcpu = other
+        assert result.statuses == ref_result.statuses
+        assert result.halted == ref_result.halted
+        assert result.switch_reads == ref_result.switch_reads
+        assert result.switch_writes == ref_result.switch_writes
+        assert result.wrote_switch_memory == ref_result.wrote_switch_memory
+        assert tpp.memory == ref_tpp.memory
+        assert tpp.stack_pointer == ref_tpp.stack_pointer
+        assert tpp.hop_number == ref_tpp.hop_number
+        assert memory.values == ref_memory.values
+        assert tcpu.tpps_executed == ref_tcpu.tpps_executed
+        assert tcpu.instructions_executed == ref_tcpu.instructions_executed
+
+
+class TestDifferentialSweep:
+    """Random valid programs: the three engines must be indistinguishable."""
+
+    @given(programs(trace_opcodes),
+           st.sampled_from([2, 4]),
+           st.sampled_from([AddressingMode.STACK, AddressingMode.HOP]),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=8),
+           st.integers(min_value=0, max_value=60),
+           st.integers(min_value=0, max_value=2**16))
+    def test_trace_eligible_programs(self, program, word_bytes, mode, num_hops,
+                                     hop_number, stack_pointer, fill):
+        assert_engines_agree(run_all_engines(
+            program, word_bytes=word_bytes, mode=mode, num_hops=num_hops,
+            hop_number=hop_number, stack_pointer=stack_pointer, fill=fill))
+
+    @given(programs(all_opcodes),
+           st.sampled_from([2, 4]),
+           st.sampled_from([AddressingMode.STACK, AddressingMode.HOP]),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=8),
+           st.integers(min_value=0, max_value=60),
+           st.integers(min_value=0, max_value=2**16),
+           st.booleans())
+    def test_any_program_any_knobs(self, program, word_bytes, mode, num_hops,
+                                   hop_number, stack_pointer, fill, write_enabled):
+        """Conditionals (interpreter fallback) and write-disable included."""
+        assert_engines_agree(run_all_engines(
+            program, word_bytes=word_bytes, mode=mode, num_hops=num_hops,
+            hop_number=hop_number, stack_pointer=stack_pointer, fill=fill,
+            write_enabled=write_enabled))
+
+
+class TestResolverEquivalence:
+    """SwitchMemory.read_resolver must agree with SwitchMemory.read."""
+
+    def _switch(self):
+        from repro.net.sim import Simulator
+        from repro.switches.switch import TPPSwitch
+        sim = Simulator()
+        switch = TPPSwitch(sim, "s1", switch_id=42)
+        for _ in range(3):
+            switch.add_port()
+        switch.install_route("h1", output_port=1)
+        return switch
+
+    def test_every_known_statistic_matches(self, subtests=None):
+        switch = self._switch()
+        contexts = [
+            PacketContext(),
+            PacketContext(input_port=1, output_port=2, output_queue=0,
+                          matched_entry_id=3, matched_stage=1, hop_number=2,
+                          path_id=9, packet_length=1500, arrival_time=2.5),
+            PacketContext(output_port=77),           # out-of-range port
+            PacketContext(output_queue=1),           # nonexistent queue id
+        ]
+        names = []
+        for region, fields in (("Switch", addressing.SWITCH_FIELDS),
+                               ("PacketMetadata", addressing.PACKET_METADATA_FIELDS),
+                               ("Queue", addressing.QUEUE_FIELDS),
+                               ("Link", addressing.LINK_FIELDS)):
+            names.extend(f"[{region}:{field}]" for field in fields)
+        names.extend(["[Stage$0:LookupPackets]", "[Stage$0:Reg0]",
+                      "[Link$1:TX-Bytes]", "[Queue$1$0:QueueOccupancy]"])
+        checked = 0
+        for name in names:
+            address = addressing.resolve(name)
+            resolver = switch.memory.read_resolver(address)
+            for context in contexts:
+                assert resolver(context) == switch.memory.read(address, context), \
+                    f"resolver diverged for {name} with {context}"
+                checked += 1
+        assert checked > 100
+
+    def test_invalid_address_resolves_to_none(self):
+        switch = self._switch()
+        for address in (0xFFFF, 0xFDFF):
+            resolver = switch.memory.read_resolver(address)
+            assert resolver(PacketContext()) is None
+            assert switch.memory.read(address, PacketContext()) is None
+
+
+class TestEligibility:
+    def test_conditionals_are_ineligible(self):
+        for opcode in (Opcode.CSTORE, Opcode.CEXEC):
+            program = [Instruction(opcode, 0x0000, packet_offset=0)]
+            assert not trace_eligible(program)
+            assert "conditional" in trace_ineligibility(program)
+
+    def test_hazardous_packet_layout_is_ineligible(self):
+        program = [Instruction(Opcode.LOAD, 0x0000, packet_offset=0),
+                   Instruction(Opcode.LOAD, 0x0001, packet_offset=0)]
+        assert not trace_eligible(program)
+        assert "hazard" in trace_ineligibility(program)
+
+    def test_straight_line_program_is_eligible(self):
+        program = [Instruction(Opcode.PUSH, 0x0000),
+                   Instruction(Opcode.LOAD, 0x0001, packet_offset=1)]
+        assert trace_eligible(program)
+        compiled = compile_trace(program, word_bytes=2,
+                                 mode=AddressingMode.STACK, hop_size=0)
+        assert compiled is not None
+        assert "__tpp_trace" in compiled.source
+
+    def test_ineligible_program_falls_back_and_counts(self):
+        program = [Instruction(Opcode.CEXEC, 0x0000, packet_offset=0)]
+        tpp = make_tpp(program, num_hops=1, mode=AddressingMode.HOP,
+                       values_per_hop=3, initial_values=[0xFFFF, 7, 0])
+        tcpu = TCPU(compile_traces=True)
+        result = tcpu.execute_program(tpp, DictMemory({0x0000: 7}), PacketContext())
+        assert result.statuses == [InstructionStatus.EXECUTED]
+        assert tcpu.trace_fallbacks == 1
+        assert tcpu.trace_executions == 0
+
+
+class TestCacheKeying:
+    """A mutated (non-template) program must never hit a stale plan/trace."""
+
+    def _memory(self):
+        return DictMemory(PRESENT, READ_ONLY)
+
+    def test_instruction_replacement_misses_plan_cache(self):
+        a = addressing.resolve("[Switch:SwitchID]")
+        tcpu = TCPU()
+        tpp = compile_tpp("PUSH [Switch:SwitchID]\nPUSH [Switch:VersionNumber]").tpp
+        memory = DictMemory({a: 5})
+        tcpu.execute_program(tpp, memory, PacketContext())
+        assert tpp.pushed_words() == [5]
+        # In-place mutation: same list object, new instruction object.
+        tpp.instructions[1] = Instruction(Opcode.PUSH, a)
+        mutated = tpp.clone()
+        mutated.stack_pointer = 0
+        tcpu.execute_program(mutated, DictMemory({a: 9}), PacketContext())
+        assert mutated.pushed_words() == [9, 9]     # stale plan would push once
+
+    def test_instruction_append_misses_plan_cache(self):
+        a = addressing.resolve("[Switch:SwitchID]")
+        tcpu = TCPU(compile_traces=True)
+        tpp = compile_tpp("PUSH [Switch:SwitchID]").tpp
+        tcpu.execute_program(tpp, DictMemory({a: 1}), PacketContext())
+        tpp.instructions.append(Instruction(Opcode.PUSH, a))
+        grown = tpp.clone()
+        grown.stack_pointer = 0
+        result = tcpu.execute_program(grown, DictMemory({a: 2}), PacketContext())
+        assert len(result.statuses) == 2
+        assert grown.pushed_words() == [2, 2]
+
+    def test_word_bytes_change_recompiles(self):
+        address = addressing.resolve("[PacketMetadata:ArrivalTimestamp]")
+        program = [Instruction(Opcode.PUSH, address)]
+
+        class MetadataMemory:
+            def read(self, addr, context):
+                decoded = addressing.decode(addr)
+                return context.metadata_word(decoded.field_offset)
+
+            def write(self, addr, value, context):
+                return False
+
+        context = PacketContext(arrival_time=1.0)       # 1e6 us = 0xF4240
+        tcpu = TCPU(compile_traces=True)
+        for word_bytes, expected in ((2, 0xF4240 & 0xFFFF), (4, 0xF4240)):
+            tpp = make_tpp(program, num_hops=1, word_bytes=word_bytes)
+            tcpu.execute_program(tpp, MetadataMemory(), context)
+            assert tpp.pushed_words() == [expected]
+
+    def test_mode_and_hop_size_are_part_of_the_trace_key(self):
+        memory_values = {0x0000: 0xAA, 0x0001: 0xBB}
+        program = [Instruction(Opcode.LOAD, 0x0000, packet_offset=0),
+                   Instruction(Opcode.LOAD, 0x0001, packet_offset=1)]
+        tcpu = TCPU(compile_traces=True)
+
+        hop = make_tpp(program, num_hops=3, mode=AddressingMode.HOP,
+                       values_per_hop=2)
+        hop.hop_number = 2
+        tcpu.execute_program(hop, DictMemory(memory_values), PacketContext())
+        assert hop.read_hop_word(0, hop=2) == 0xAA      # wrote hop 2's slice
+        assert hop.read_hop_word(0, hop=0) == 0
+
+        # Same instruction objects, stack mode: absolute offsets 0 and 1.
+        stack = make_tpp(program, num_hops=3, mode=AddressingMode.STACK,
+                         values_per_hop=2)
+        stack.hop_number = 2
+        tcpu.execute_program(stack, DictMemory(memory_values), PacketContext())
+        assert stack.read_word_bytes(0) == 0xAA         # absolute word 0
+        assert stack.read_word_bytes(2) == 0xBB
+
+    def test_write_enabled_flip_recompiles_traces(self):
+        store = [Instruction(Opcode.STORE, 0x1010, packet_offset=0)]
+        tcpu = TCPU(compile_traces=True)
+
+        def run():
+            tpp = make_tpp(store, num_hops=1, mode=AddressingMode.HOP,
+                           initial_values=[55])
+            memory = self._memory()
+            return tcpu.execute_program(tpp, memory, PacketContext()), memory
+
+        result, memory = run()
+        assert result.statuses == [InstructionStatus.EXECUTED]
+        assert memory.values[0x1010] == 55
+
+        tcpu.write_enabled = False
+        result, memory = run()
+        assert result.statuses == [InstructionStatus.SKIPPED_WRITE_DISABLED]
+        assert memory.values[0x1010] == 0
+
+        tcpu.write_enabled = True
+        result, memory = run()
+        assert result.statuses == [InstructionStatus.EXECUTED]
+        assert memory.values[0x1010] == 55
+
+    def test_equal_content_different_objects_share_one_compiled_program(self):
+        a = addressing.resolve("[Switch:SwitchID]")
+        tcpu = TCPU(compile_traces=True)
+        memory = DictMemory({a: 1})
+        template = compile_tpp("PUSH [Switch:SwitchID]").tpp
+        for _ in range(5):
+            tcpu.execute_program(template.clone(), memory, PacketContext())
+        assert tcpu.traces_compiled == 1
+        assert tcpu.trace_executions == 5
+
+    def test_trace_cache_is_bounded(self):
+        from repro.core.tcpu import _PLAN_CACHE_LIMIT
+        tcpu = TCPU(compile_traces=True)
+        memory = DictMemory(PRESENT)
+        for address in range(_PLAN_CACHE_LIMIT + 10):
+            tpp = make_tpp([Instruction(Opcode.PUSH, address)], num_hops=1)
+            tcpu.execute_program(tpp, memory, PacketContext())
+        assert len(tcpu._trace_cache) <= _PLAN_CACHE_LIMIT
+        assert len(tcpu._trace_programs) <= _PLAN_CACHE_LIMIT
+        assert len(tcpu._plan_cache) <= _PLAN_CACHE_LIMIT
+
+
+class TestPlumbing:
+    def _scenario(self, compile_traces):
+        return (Scenario("dumbbell", seed=3, hosts_per_side=2,
+                         link_rate_bps=gbps(1), compile_traces=compile_traces)
+                .tpp("monitor",
+                     "PUSH [PacketMetadata:OutputPort]\n"
+                     "PUSH [Switch:Clock]\n"
+                     "PUSH [Queue:QueueOccupancyBytes]\n"
+                     "PUSH [Link:TX-Bytes]\n"
+                     "PUSH [Switch:SwitchID]",
+                     filter=PacketFilter(protocol="udp"), num_hops=6)
+                .workload("messages", offered_load=0.2, message_bytes=4_000))
+
+    def test_scenario_runs_are_byte_identical_across_engines(self):
+        """End-to-end differential on a real network, exercising the
+        specialized SwitchMemory resolvers (metadata, clock, queue, link)."""
+        payloads = {}
+
+        def run(compile_traces):
+            collected = []
+            result = (self._scenario(compile_traces)
+                      .collect(lambda tpp, packet:
+                               collected.append((packet.src, packet.dst,
+                                                 tpp.hop_number,
+                                                 bytes(tpp.memory))))
+                      .run(duration_s=0.05))
+            payloads[compile_traces] = collected
+            return result
+
+        interp, traced = run(False), run(True)
+        assert interp.events_executed == traced.events_executed
+        assert interp.tpps_attached == traced.tpps_attached
+        assert interp.tpps_completed == traced.tpps_completed
+        assert payloads[False] == payloads[True]
+        assert payloads[True], "the sweep must actually collect TPPs"
+        assert traced.trace_executions > 0
+        assert traced.trace_fallbacks == 0
+        assert interp.trace_executions == 0
+
+    def test_switch_constructor_and_property_toggle(self):
+        from repro.net.sim import Simulator
+        from repro.switches.switch import TPPSwitch
+        sim = Simulator()
+        switch = TPPSwitch(sim, "s1", switch_id=1, compile_traces=True)
+        assert switch.compile_traces and switch.tcpu.compile_traces
+        switch.compile_traces = False
+        assert not switch.tcpu.compile_traces
+
+    def test_shim_reports_trace_eligibility(self):
+        experiment = (self._scenario(True)
+                      .tpp("verify",
+                           "CEXEC [Switch:SwitchID], [Packet:Hop[0]]\n"
+                           "LOAD [Link:TX-Bytes], [Packet:Hop[2]]",
+                           filter=PacketFilter(protocol="tcp"), num_hops=4)
+                      .build())
+        shim = next(iter(experiment.stacks.values())).shim
+        assert shim.traceable_filters == 1
+        assert shim.untraceable_filters == 1
+        ineligible = shim.trace_ineligible_programs()
+        assert len(ineligible) == 1
+        assert "conditional" in ineligible[0][1]
+        experiment.finish()

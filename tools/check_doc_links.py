@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in README.md and docs/ resolve.
+
+Checks every ``[text](target)`` link in the given markdown files (default:
+README.md and docs/*.md):
+
+* relative file targets must exist on disk (relative to the linking file);
+* ``path#anchor`` targets must point at an existing file AND a heading in
+  it whose GitHub-style slug matches the anchor;
+* external links (http/https/mailto) are *not* fetched — CI must not
+  depend on the network — but obviously malformed ones (no host) fail.
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link is
+reported as ``file:line: message``).
+
+Usage::
+
+    python tools/check_doc_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target).  Reference-style links and bare
+#: URLs are out of scope — the repo's docs use inline links exclusively.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → hyphens."""
+    text = re.sub(r"[`*_~\[\]()]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(md_file: Path) -> list[str]:
+    errors: list[str] = []
+    in_code_fence = False
+    for lineno, line in enumerate(md_file.read_text(encoding="utf-8").splitlines(),
+                                  start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            error = check_target(md_file, target)
+            if error:
+                errors.append(f"{md_file}:{lineno}: {error}")
+    return errors
+
+
+def check_target(md_file: Path, target: str) -> str | None:
+    if target.startswith(("http://", "https://")):
+        if not re.match(r"https?://[\w.-]+", target):
+            return f"malformed external link {target!r}"
+        return None
+    if target.startswith("mailto:"):
+        return None
+    path_part, _, anchor = target.partition("#")
+    if not path_part:                     # intra-file anchor: #section
+        resolved = md_file
+    else:
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            return f"broken link {target!r}: {path_part} does not exist"
+    if anchor:
+        if resolved.suffix.lower() not in (".md", ".markdown"):
+            return None                   # anchors into non-markdown: skip
+        if anchor not in heading_slugs(resolved):
+            return (f"broken anchor {target!r}: no heading in "
+                    f"{resolved.name} slugs to #{anchor}")
+    return None
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for path in missing:
+            print(f"{path}: file not found", file=sys.stderr)
+        return 1
+    errors = [error for md_file in files for error in check_file(md_file)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = sum(len(LINK_RE.findall(f.read_text(encoding='utf-8'))) for f in files)
+    if not errors:
+        print(f"OK: {checked} links across {len(files)} files resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
