@@ -1,0 +1,203 @@
+"""Macro-benchmark: collector-tier scaling (shard count vs summary throughput).
+
+The §4.5 deployment model shards the collector tier behind a virtual IP and
+relies on commutative merge operators to keep sharding semantics-free.  This
+benchmark locks both halves of that claim in:
+
+* **Invariance** — one seeded scenario (dumbbell + micro-burst monitor) runs
+  unsharded and at 1/2/4/8 shards (inline transport).  Every run must land
+  on the *identical* simulator event total, and every sharded run's merged
+  collector view must render to the identical canonical JSON.  A violation
+  is a hard assertion failure, not a number.
+* **Throughput** — a synthetic summary workload (hosts × keyed bundle parts
+  × rounds) is pushed through a standalone
+  :class:`~repro.collect.CollectPlane` at each shard count, measuring
+  front-door submissions/sec and the wall cost of the global ``merge()``.
+  Merged totals are asserted equal across shard counts here too.
+
+The results are recorded in a JSON artifact (``BENCH_collector_scale.json``
+by default) so the repo carries the measured run next to the code.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_collector_scale.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_collector_scale.py --shards 1 2 4 8 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.apps.microburst import MICROBURST_TPP_SOURCE, MicroburstAggregator
+from repro.collect import (CollectPlane, CounterSummary, HistogramSummary,
+                           SeriesSummary, SummaryBundle, TopKSummary,
+                           summary_jsonable)
+from repro.endhost import PacketFilter
+from repro.net import mbps
+from repro.session import Scenario
+
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+
+
+# --------------------------------------------------------------- invariance
+def scenario(shards=None, seed: int = 11):
+    built = (Scenario("dumbbell", seed=seed, name="collector-scale",
+                      hosts_per_side=3, link_rate_bps=mbps(50))
+             .tpp("monitor", MICROBURST_TPP_SOURCE, num_hops=6,
+                  filter=PacketFilter(protocol="udp"),
+                  aggregator=MicroburstAggregator)
+             .workload("messages", offered_load=0.4, message_bytes=4000,
+                       seed=seed))
+    if shards is not None:
+        built.collector(shards=shards, transport="inline")
+    return built
+
+
+def invariance_sweep(shard_counts, duration_s: float) -> dict:
+    """Run the seeded scenario at every shard count; assert invariance."""
+    legacy = scenario().run(duration_s=duration_s)
+    rows = []
+    reference_view = None
+    merged = None
+    for shards in shard_counts:
+        result = scenario(shards=shards).run(duration_s=duration_s)
+        merged = result.merged_summary("monitor")
+        assert result.events_executed == legacy.events_executed, \
+            f"event totals diverged at {shards} shards: " \
+            f"{result.events_executed:,} vs {legacy.events_executed:,}"
+        view = json.dumps(summary_jsonable(merged), sort_keys=True)
+        if reference_view is None:
+            reference_view = view
+        assert view == reference_view, \
+            f"merged collector view diverged at {shards} shards"
+        rows.append({
+            "shards": shards,
+            "events": result.events_executed,
+            "summaries_submitted": result.summaries_submitted,
+            "parts_delivered": result.summary_parts_delivered,
+            "parts_dropped": result.summary_parts_dropped,
+            "flushes": result.summary_flushes,
+        })
+        print(f"  {shards} shard(s): {result.events_executed:,} events, "
+              f"{result.summary_parts_delivered} parts delivered, "
+              f"{result.summary_flushes} flushes — merged view identical")
+    return {
+        "duration_s": duration_s,
+        "events": legacy.events_executed,
+        "merged_samples": merged["counters"]["samples"],
+        "runs": rows,
+        "merged_view_identical": True,
+    }
+
+
+# --------------------------------------------------------------- throughput
+def synthetic_summary(host_index: int, keys: int, round_index: int) -> SummaryBundle:
+    """One host's bundle: counters + histogram + top-k + a keyed series."""
+    counters = CounterSummary({"tpps": 100 + round_index, "tpps_truncated": host_index % 3})
+    hist = HistogramSummary((0, 1, 2, 4, 8, 16, 32, 64, 128))
+    busiest = TopKSummary(k=8)
+    series = SeriesSummary()
+    for key_index in range(keys):
+        occupancy = (host_index * 7 + key_index * 3 + round_index) % 96
+        hist.observe(occupancy)
+        busiest.observe((key_index % 4, key_index), occupancy)
+        series.add(round_index + key_index / 1000.0, (key_index % 4, key_index),
+                   occupancy)
+    return SummaryBundle({"counters": counters, "occupancy": hist,
+                          "busiest": busiest, "series": series})
+
+
+def throughput_sweep(shard_counts, hosts: int, keys: int, rounds: int) -> list[dict]:
+    """Push the synthetic workload through each tier size and time it."""
+    rows = []
+    reference_view = None
+    for shards in shard_counts:
+        plane = CollectPlane(shards, batch=128, capacity=1 << 30)
+        door = plane.front_door("bench")
+        start = time.perf_counter()
+        for round_index in range(rounds):
+            for host_index in range(hosts):
+                door.submit(f"host{host_index}",
+                            synthetic_summary(host_index, keys, round_index),
+                            time=float(round_index))
+        submit_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        merged = plane.merge()
+        merge_wall = time.perf_counter() - start
+        view = json.dumps({f"{app}/{key}": summary_jsonable(s)
+                           for (app, key), s in merged.items()}, sort_keys=True)
+        if reference_view is None:
+            reference_view = view
+        assert view == reference_view, \
+            f"merged throughput view diverged at {shards} shards"
+        submissions = hosts * rounds
+        stats = plane.stats()
+        rows.append({
+            "shards": shards,
+            "submissions": submissions,
+            "parts_routed": stats.parts_routed,
+            "submit_wall_s": submit_wall,
+            "summaries_per_s": submissions / submit_wall,
+            "parts_per_s": stats.parts_routed / submit_wall,
+            "merge_wall_s": merge_wall,
+            "bytes_received": stats.bytes_received,
+        })
+        print(f"  {shards} shard(s): {submissions / submit_wall:,.0f} summaries/s "
+              f"({stats.parts_routed / submit_wall:,.0f} parts/s), "
+              f"merge {merge_wall * 1e3:.1f} ms — merged view identical")
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: shorter run, smaller workload")
+    parser.add_argument("--shards", type=int, nargs="+",
+                        default=list(DEFAULT_SHARD_COUNTS),
+                        help="shard counts to sweep (default: 1 2 4 8)")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="simulated seconds for the invariance scenario")
+    parser.add_argument("--hosts", type=int, default=256,
+                        help="synthetic submitting hosts")
+    parser.add_argument("--keys", type=int, default=64,
+                        help="keyed samples per synthetic summary")
+    parser.add_argument("--rounds", type=int, default=40,
+                        help="synthetic push rounds (cumulative snapshots)")
+    parser.add_argument("--output", default="BENCH_collector_scale.json",
+                        help="artifact path (default: BENCH_collector_scale.json)")
+    args = parser.parse_args()
+
+    duration = 0.1 if args.quick else args.duration
+    hosts = 32 if args.quick else args.hosts
+    keys = 16 if args.quick else args.keys
+    rounds = 8 if args.quick else args.rounds
+
+    print(f"invariance: dumbbell micro-burst scenario, {duration * 1e3:g} ms "
+          f"simulated, shard counts {args.shards}")
+    invariance = invariance_sweep(args.shards, duration)
+    print(f"throughput: {hosts} hosts x {keys} keys x {rounds} rounds, "
+          f"shard counts {args.shards}")
+    throughput = throughput_sweep(args.shards, hosts, keys, rounds)
+
+    artifact = {
+        "benchmark": "bench_collector_scale",
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "shard_counts": list(args.shards),
+        "invariance": invariance,
+        "throughput": {
+            "hosts": hosts, "keys": keys, "rounds": rounds,
+            "runs": throughput,
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"artifact written: {args.output}")
+
+
+if __name__ == "__main__":
+    main()

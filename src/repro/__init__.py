@@ -11,6 +11,9 @@ Subpackages
   hosts, topologies, traffic generators, a simple TCP).
 * :mod:`repro.endhost` — the end-host stack: TPP control plane, dataplane
   shim, executor library, application deployment framework.
+* :mod:`repro.collect` — the §4.5 collection plane: mergeable summary
+  monoids, collector shards, and the virtual-IP front door with an
+  order-independent global merge.
 * :mod:`repro.session` — the unified experiment API: the fluent
   :class:`~repro.session.Scenario` builder, the
   :class:`~repro.session.Experiment` runner, and the topology/workload
@@ -26,5 +29,5 @@ Subpackages
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "switches", "net", "endhost", "session", "apps", "baselines",
-           "hardware", "stats"]
+__all__ = ["core", "switches", "net", "endhost", "collect", "session", "apps",
+           "baselines", "hardware", "stats"]

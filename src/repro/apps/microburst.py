@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.collect import (CounterSummary, HistogramSummary, SeriesSummary,
+                           SummaryBundle, TopKSummary)
 from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, EndHostStack, PacketFilter,
@@ -38,6 +40,10 @@ PUSH [Queue:QueueOccupancy]
 
 #: Values each hop appends to packet memory.
 VALUES_PER_HOP = 3
+
+#: Histogram edges (packets) for the occupancy distribution the aggregator
+#: summarises to the collector tier — power-of-two queue depths.
+OCCUPANCY_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
 
 
 def microburst_tpp(num_hops: int = 6, app_id: int = 0) -> CompiledTPP:
@@ -79,10 +85,22 @@ class MicroburstAggregator(Aggregator):
             self.samples.append(sample)
             self.series.setdefault(sample.queue_key, TimeSeries()).add(now, occupancy)
 
-    def summarize(self) -> dict:
-        return {"host": self.host_name,
-                "samples": len(self.samples),
-                "queues": sorted(self.series)}
+    def summarize(self) -> SummaryBundle:
+        """A mergeable snapshot: counters + occupancy histogram + busiest
+        queues + the raw per-queue series (all commutative monoids, so the
+        collector tier reconstructs the global view from any sharding)."""
+        counters = CounterSummary({"tpps": self.tpps_received,
+                                   "tpps_truncated": self.tpps_truncated,
+                                   "samples": len(self.samples)})
+        occupancy = HistogramSummary(OCCUPANCY_EDGES)
+        busiest = TopKSummary(k=8)
+        series = SeriesSummary()
+        for sample in self.samples:
+            occupancy.observe(sample.occupancy_packets)
+            busiest.observe(sample.queue_key)
+            series.add(sample.time, sample.queue_key, sample.occupancy_packets)
+        return SummaryBundle({"counters": counters, "occupancy": occupancy,
+                              "busiest_queues": busiest, "queue_series": series})
 
 
 @dataclass

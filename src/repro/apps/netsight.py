@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
+from repro.collect import CounterSummary, SummaryBundle, TopKSummary
 from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, EndHostStack, PacketFilter,
@@ -204,9 +205,19 @@ class NetSightAggregator(Aggregator):
         if self.netwatch is not None:
             self.netwatch.check(history)
 
-    def summarize(self) -> dict:
-        return {"host": self.host_name, "histories": len(self.store),
-                "paths": dict(self.store.path_counts())}
+    def summarize(self) -> SummaryBundle:
+        """A mergeable snapshot: history counters plus per-path tallies
+        (path-count addition commutes, so shard merges reconstruct the
+        network-wide nprof view exactly)."""
+        paths = TopKSummary(k=16)
+        for path, count in self.store.path_counts().items():
+            paths.observe(path, count)
+        return SummaryBundle({
+            "counters": CounterSummary({"tpps": self.tpps_received,
+                                        "tpps_truncated": self.tpps_truncated,
+                                        "histories": len(self.store)}),
+            "paths": paths,
+        })
 
 
 def deploy_netsight(stacks: dict[str, EndHostStack], collector: Collector,

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.collect import SummaryBundle
 from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, EndHostStack, PacketFilter,
@@ -119,8 +120,10 @@ class SketchAggregator(Aggregator):
             sketch = self.bitmaps.setdefault(key, BitmapSketch(self.bits))
             sketch.add(element)
 
-    def summarize(self) -> dict[LinkKey, BitmapSketch]:
-        return dict(self.bitmaps)
+    def summarize(self) -> SummaryBundle:
+        """One mergeable part per traversed link (bitmap OR commutes, so
+        the collector tier shards per-link sketches freely)."""
+        return SummaryBundle(dict(self.bitmaps))
 
     def memory_bytes(self) -> int:
         return sum(sketch.memory_bytes() for sketch in self.bitmaps.values())
@@ -134,9 +137,9 @@ class LinkMonitoringService(Collector):
         self.bits = bits
         self.per_link: dict[LinkKey, BitmapSketch] = {}
 
-    def submit(self, host_name: str, summary: object) -> None:
-        super().submit(host_name, summary)
-        if not isinstance(summary, dict):
+    def submit(self, host_name: str, summary: object, time: float = 0.0) -> None:
+        super().submit(host_name, summary, time)
+        if not isinstance(summary, (dict, SummaryBundle)):
             return
         for key, sketch in summary.items():
             if not isinstance(key, LinkKey) or not isinstance(sketch, BitmapSketch):
@@ -207,7 +210,8 @@ def sketch_scenario(num_leaves: int = 4, num_spines: int = 2, hosts_per_leaf: in
         return SketchAggregator(host_name, collector, bits=bits, key_field=key_field)
 
     def push_summaries(experiment) -> None:
-        experiment.apps["opensketch-distinct-count"].push_all_summaries()
+        experiment.apps["opensketch-distinct-count"].push_all_summaries(
+            experiment.sim.now)
 
     def to_result(result: "ExperimentResult") -> SketchExperimentResult:
         aggregators = result.aggregators("opensketch-distinct-count")

@@ -1,0 +1,34 @@
+"""The sharded collection plane (§4.5): mergeable summaries, shards, virtual IP.
+
+The paper load-balances the collector tier behind a virtual IP and relies
+on commutative aggregation operators to make sharding semantics-free.
+This package is that deployment model, reproduced:
+
+* :mod:`repro.collect.summary` — the :class:`MergeableSummary` protocol and
+  the concrete monoids (counter, histogram, top-k, series) aggregators emit;
+* :mod:`repro.collect.shard` — :class:`CollectorShard` end-host services
+  with batching, per-epoch flushes, and backpressure/drop accounting;
+* :mod:`repro.collect.virtual` — the :class:`VirtualCollector` front door
+  and :class:`CollectPlane`, which consistently hash (app, host, key)
+  across the tier and reconstruct the global view with an
+  order-independent :meth:`~repro.collect.virtual.CollectPlane.merge`.
+
+Experiments opt in with ``Scenario(...).collector(shards=N, ...)``; see
+:mod:`repro.session.scenario`.  This package depends only on the network
+substrate, so the end-host layer can emit its summary types without
+circular imports.
+"""
+
+from .shard import COLLECT_UDP_PORT_BASE, CollectorShard, Submission, summary_wire_bytes
+from .summary import (CounterSummary, HistogramSummary, MergeableSummary,
+                      SeriesSummary, SummaryBundle, TopKSummary,
+                      merge_summaries, summary_copy, summary_jsonable)
+from .virtual import CollectPlane, PlaneStats, TRANSPORTS, VirtualCollector, shard_index
+
+__all__ = [
+    "COLLECT_UDP_PORT_BASE", "CollectPlane", "CollectorShard", "CounterSummary",
+    "HistogramSummary", "MergeableSummary", "PlaneStats", "SeriesSummary",
+    "Submission", "SummaryBundle", "TRANSPORTS", "TopKSummary",
+    "VirtualCollector", "merge_summaries", "shard_index", "summary_copy",
+    "summary_jsonable", "summary_wire_bytes",
+]

@@ -1,0 +1,218 @@
+"""Collector shards: the end-host services behind the virtual IP (§4.5).
+
+A :class:`CollectorShard` is one member of the load-balanced collector tier
+the paper deploys behind a virtual IP.  It receives :class:`Submission`
+records — one per (app, host, key) summary part — either inline (a direct
+call from the :class:`~repro.collect.virtual.VirtualCollector` front door)
+or as UDP summary packets delivered by the simulated network, and:
+
+* **batches** them in a bounded ``pending`` buffer, folding the buffer into
+  its merged state when it reaches ``batch`` entries (``batch=None``
+  disables the fill trigger: folds then happen only at epoch boundaries
+  and at finish — the deferred mode),
+* **flushes on epochs** when attached to a simulator with an epoch period
+  (the fold runs at every epoch boundary regardless of batch fill),
+* **drops under backpressure** — submissions arriving while the buffer is
+  at ``capacity`` are counted in ``dropped`` and discarded, mirroring a
+  real collector shedding load instead of stalling the network.  Note the
+  interplay with batching: a synchronous batch fold empties the buffer at
+  ``batch`` entries, so the bound only bites when folding is deferred
+  (``batch=None``) or ``capacity < batch`` — and
+* keeps **last-writer-wins state per (app, host, key)**: aggregator
+  summaries are cumulative snapshots, so the newest submission (by
+  ``(time, seq)``) from a source replaces its predecessor rather than
+  double-counting it.  Because the front door routes a given
+  (app, host, key) to the same shard at any shard count, this rule is
+  shard-count invariant.
+
+:meth:`merged_view` folds the retained snapshots across hosts into this
+shard's partial global view — the commutative merge that
+:meth:`repro.collect.virtual.CollectPlane.merge` completes across shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.net.packet import Packet
+
+from .summary import _canonical_key, summary_copy
+
+#: Base UDP destination port for summary packets; shard ``i`` listens on
+#: ``COLLECT_UDP_PORT_BASE + i`` so shards sharing a host stay distinct.
+COLLECT_UDP_PORT_BASE = 0x6668
+
+#: Fixed per-submission envelope estimate (addresses, app id, key, time).
+_ENVELOPE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One summary part in flight from an aggregator to a shard."""
+
+    time: float                 # simulation time the summary was pushed
+    seq: int                    # front-door sequence (total order per plane)
+    app: str                    # owning application name
+    host: str                   # submitting host
+    key: Any                    # part key ("" for whole-summary submissions)
+    summary: Any                # the mergeable payload
+
+    @property
+    def group(self) -> tuple:
+        """The sharding/replacement identity: (app, host, key)."""
+        return (self.app, self.host, self.key)
+
+
+def summary_wire_bytes(summary: Any) -> int:
+    """Rough on-wire size of one summary payload, for packet sizing.
+
+    Heuristic by shape: counters cost ~12 B/entry, histogram bins 8 B,
+    top-k entries 16 B, series samples 12 B, bitmap sketches their bitmap;
+    bundles sum their parts.  Unknown shapes charge a flat 64 B.
+    """
+    parts = getattr(summary, "parts", None)
+    if parts is not None:
+        return sum(summary_wire_bytes(part) for part in parts.values())
+    counts = getattr(summary, "counts", None)
+    if counts is not None:
+        return 12 * max(1, len(counts))
+    bins = getattr(summary, "bins", None)
+    if bins is not None:
+        return 8 * len(bins)
+    samples = getattr(summary, "samples", None)
+    if samples is not None:
+        return 12 * max(1, len(samples))
+    memory = getattr(summary, "memory_bytes", None)
+    if callable(memory):
+        return int(memory())
+    return 64
+
+
+class CollectorShard:
+    """One shard of the collection tier: batch, fold, flush, account."""
+
+    def __init__(self, index: int, *, batch: Optional[int] = 64,
+                 capacity: int = 4096, name: Optional[str] = None) -> None:
+        if batch is not None and batch < 1:
+            raise ValueError("batch must be >= 1 (or None to fold only on "
+                             "epoch/finish flushes)")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.index = index
+        self.name = name if name is not None else f"shard{index}"
+        self.batch = batch
+        self.capacity = capacity
+        self.pending: list[Submission] = []
+        # (app, host, key) -> newest Submission from that source.
+        self.state: dict[tuple, Submission] = {}
+        # Network attachment (None while the shard runs inline-only).
+        self.host_name: Optional[str] = None
+        self.port: Optional[int] = None
+        self._flush_process = None
+        # Accounting.
+        self.received = 0
+        self.dropped = 0
+        self.bytes_received = 0
+        self.flushes = 0
+        self.batch_flushes = 0
+        self.epoch_flushes = 0
+        self.stale_replaced = 0
+
+    # ------------------------------------------------------------------ intake
+    def ingest(self, submission: Submission) -> bool:
+        """Accept one submission into the batch buffer; False on drop."""
+        if len(self.pending) >= self.capacity:
+            self.dropped += 1
+            return False
+        self.received += 1
+        self.bytes_received += _ENVELOPE_BYTES + summary_wire_bytes(submission.summary)
+        self.pending.append(submission)
+        if self.batch is not None and len(self.pending) >= self.batch:
+            self.flush(kind="batch")
+        return True
+
+    def ingest_packet(self, packet: Packet) -> int:
+        """Network intake: unpack a summary packet's submissions."""
+        payload = packet.payload
+        if not isinstance(payload, dict) or "collect_submissions" not in payload:
+            return 0
+        accepted = 0
+        for submission in payload["collect_submissions"]:
+            accepted += bool(self.ingest(submission))
+        return accepted
+
+    # ------------------------------------------------------------------- folds
+    def flush(self, kind: str = "final") -> int:
+        """Fold the pending buffer into state; returns submissions folded.
+
+        An empty buffer is a no-op (and not counted), so the flush
+        statistics report folds actually performed, not scheduler ticks.
+        """
+        if not self.pending:
+            return 0
+        self.flushes += 1
+        if kind == "batch":
+            self.batch_flushes += 1
+        elif kind == "epoch":
+            self.epoch_flushes += 1
+        folded = len(self.pending)
+        state = self.state
+        for submission in self.pending:
+            group = submission.group
+            current = state.get(group)
+            if current is None:
+                state[group] = submission
+            elif (submission.time, submission.seq) >= (current.time, current.seq):
+                state[group] = submission
+                self.stale_replaced += 1
+            # else: an older snapshot arrived late; the newer one stands.
+        self.pending.clear()
+        return folded
+
+    def merged_view(self) -> dict[tuple, Any]:
+        """This shard's partial global view: (app, key) -> merged summary.
+
+        Hosts fold in sorted order, but the fold is commutative by the
+        :class:`~repro.collect.summary.MergeableSummary` contract, so any
+        order would produce the same result (tested).  Pending submissions
+        are not included — call :meth:`flush` first for an up-to-date view.
+        """
+        merged: dict[tuple, Any] = {}
+        for group in sorted(self.state,
+                            key=lambda g: (g[0], _canonical_key(g[2]), g[1])):
+            submission = self.state[group]
+            target = (submission.app, submission.key)
+            if target in merged:
+                merged[target].merge(submission.summary)
+            else:
+                # Copy on first sight: the fold must never mutate the
+                # retained snapshot (it may be merged again later).
+                merged[target] = summary_copy(submission.summary)
+        return merged
+
+    # --------------------------------------------------------------- lifecycle
+    def attach(self, sim, host, port: int, epoch_s: Optional[float] = None) -> None:
+        """Bind this shard to a simulated end host (the network transport).
+
+        The shard listens for summary packets on ``port`` and, when
+        ``epoch_s`` is given, flushes its batch buffer at every epoch
+        boundary via the simulator's periodic scheduler.
+        """
+        self.host_name = host.name
+        self.port = port
+        host.listen(port, self.ingest_packet)
+        if epoch_s is not None:
+            self._flush_process = sim.schedule_periodic(
+                epoch_s, self.flush, "epoch")
+
+    def stop(self) -> None:
+        """Stop the epoch-flush process (idempotent)."""
+        if self._flush_process is not None:
+            self._flush_process.stop()
+            self._flush_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f"@{self.host_name}:{self.port}" if self.host_name else "(inline)"
+        return (f"<CollectorShard {self.name}{where} state={len(self.state)} "
+                f"pending={len(self.pending)} dropped={self.dropped}>")

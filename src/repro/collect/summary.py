@@ -1,0 +1,360 @@
+"""Mergeable summaries: the monoids the collection plane ships around (§4.5).
+
+The paper's deployment model works *because* the per-host aggregation
+operators commute: "the aggregation operator is commutative and
+associative, so the collector tier can be sharded freely".  This module
+makes that property a first-class protocol instead of a comment.  A
+:class:`MergeableSummary` is a commutative monoid element:
+
+* ``merge(other)`` folds another summary of the same shape into this one,
+* ``copy()`` produces an independent clone (so folding never mutates the
+  submitted original), and
+* ``as_dict()`` renders a canonical, JSON-able view (sorted keys, stable
+  ordering) used by benchmarks and tests to compare merged results
+  byte-for-byte across shard counts.
+
+Concrete monoids:
+
+* :class:`CounterSummary` — named counters; merge adds.
+* :class:`HistogramSummary` — fixed-edge value histogram; merge adds bins.
+* :class:`TopKSummary` — exact per-key counts with a top-k *view*; merge
+  adds counts (k bounds the report, not the state, so merging stays a true
+  monoid — a capped space-saving sketch would be order-dependent).
+* :class:`SeriesSummary` — a multiset of ``(time, key, value)`` samples
+  kept in canonical order; merge is multiset union.
+* :class:`SummaryBundle` — a keyed product of the above (and of any foreign
+  object with a commutative ``merge``, e.g.
+  :class:`repro.apps.sketches.BitmapSketch`); merge is key-wise.
+
+Anything with a commutative ``merge(other)`` participates;
+:func:`merge_summaries` / :func:`summary_copy` adapt foreign objects by
+deep-copying when they lack ``copy()``.
+
+A caveat on *bit*-identity: the monoid laws hold exactly over integers
+(which is what every shipped aggregator emits — packet, sample, and
+truncation counts).  Float-valued counters/histogram totals are still
+commutative monoids mathematically, but IEEE-754 addition is not
+associative, so different shard partitions may disagree in the last ulp.
+If you need canonical merged views over float summaries, quantise on
+observation (e.g. round to a fixed decimal) or carry the addends in a
+:class:`SeriesSummary` and reduce at the end.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from bisect import bisect_left
+from typing import Any, Iterable, Iterator, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class MergeableSummary(Protocol):
+    """Structural protocol for commutative, shardable summaries."""
+
+    def merge(self, other: Any) -> None:
+        """Fold ``other`` (same shape) into this summary, in place."""
+        ...
+
+    def copy(self) -> "MergeableSummary":
+        """An independent clone; merging into the clone leaves self alone."""
+        ...
+
+    def as_dict(self) -> dict:
+        """A canonical JSON-able rendering (sorted keys, stable order)."""
+        ...
+
+
+def summary_copy(summary: Any) -> Any:
+    """Clone a summary: its own ``copy()`` when it has one, deepcopy otherwise.
+
+    The deepcopy fallback adapts foreign mergeables (e.g. ``BitmapSketch``)
+    that expose ``merge`` but no explicit clone.
+    """
+    copier = getattr(summary, "copy", None)
+    if callable(copier):
+        return copier()
+    return _copy.deepcopy(summary)
+
+
+def merge_summaries(left: Any, right: Any) -> Any:
+    """``left ⊕ right`` as a fresh object; neither argument is mutated."""
+    merged = summary_copy(left)
+    merged.merge(right)
+    return merged
+
+
+def summary_jsonable(summary: Any) -> Any:
+    """A deterministic JSON-able view of any summary (canonical for ours)."""
+    renderer = getattr(summary, "as_dict", None)
+    if callable(renderer):
+        return renderer()
+    return {"type": type(summary).__name__, "repr": repr(summary)}
+
+
+def _canonical_key(key: Any) -> str:
+    """A total order over arbitrary hashable keys (str for str, repr else)."""
+    return key if isinstance(key, str) else repr(key)
+
+
+class CounterSummary:
+    """Named counters; ``merge`` adds count-wise.  Mapping-like for reads."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: Optional[dict[str, float]] = None) -> None:
+        self.counts: dict[str, float] = dict(counts) if counts else {}
+
+    def add(self, name: str, amount: float = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def merge(self, other: "CounterSummary") -> None:
+        mine = self.counts
+        for name, amount in other.counts.items():
+            mine[name] = mine.get(name, 0) + amount
+
+    def copy(self) -> "CounterSummary":
+        return CounterSummary(self.counts)
+
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+    def as_dict(self) -> dict:
+        return {"type": "counter",
+                "counts": {name: self.counts[name] for name in sorted(self.counts)}}
+
+    # Mapping-style reads so legacy code (and tests) can index summaries.
+    def __getitem__(self, name: str) -> float:
+        return self.counts[name]
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self.counts.get(name, default)
+
+    def keys(self):
+        return self.counts.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.counts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CounterSummary) and self.counts == other.counts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={self.counts[name]:g}" for name in sorted(self.counts))
+        return f"CounterSummary({inner})"
+
+
+class HistogramSummary:
+    """A fixed-edge histogram; ``merge`` adds per-bin counts.
+
+    ``edges`` are the (sorted) upper-inclusive boundaries: a value lands in
+    the first bin whose edge is >= value, or the overflow bin past the last
+    edge.  Two histograms merge only when their edges are identical.
+    """
+
+    __slots__ = ("edges", "bins", "count", "total")
+
+    def __init__(self, edges: Iterable[float],
+                 bins: Optional[list[int]] = None,
+                 count: int = 0, total: float = 0.0) -> None:
+        self.edges: tuple[float, ...] = tuple(edges)
+        if not self.edges or list(self.edges) != sorted(self.edges):
+            raise ValueError("histogram edges must be non-empty and sorted")
+        self.bins: list[int] = list(bins) if bins is not None \
+            else [0] * (len(self.edges) + 1)
+        if len(self.bins) != len(self.edges) + 1:
+            raise ValueError("histogram needs len(edges)+1 bins (one overflow)")
+        self.count = count
+        self.total = total
+
+    def observe(self, value: float, n: int = 1) -> None:
+        self.bins[bisect_left(self.edges, value)] += n
+        self.count += n
+        self.total += value * n
+
+    def merge(self, other: "HistogramSummary") -> None:
+        if other.edges != self.edges:
+            raise ValueError("can only merge histograms with identical edges")
+        for index, n in enumerate(other.bins):
+            self.bins[index] += n
+        self.count += other.count
+        self.total += other.total
+
+    def copy(self) -> "HistogramSummary":
+        return HistogramSummary(self.edges, bins=self.bins,
+                                count=self.count, total=self.total)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {"type": "histogram", "edges": list(self.edges),
+                "bins": list(self.bins), "count": self.count, "total": self.total}
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HistogramSummary) and self.edges == other.edges
+                and self.bins == other.bins and self.count == other.count
+                and self.total == other.total)
+
+    def __repr__(self) -> str:
+        return f"HistogramSummary(edges={self.edges}, count={self.count})"
+
+
+class TopKSummary:
+    """Exact per-key counts with a bounded top-k *report*.
+
+    The state is the full (exact) count map, so ``merge`` is plain addition
+    and the monoid laws hold; ``k`` only bounds what :meth:`top` renders.
+    (A capacity-capped heavy-hitter sketch would make merged results depend
+    on arrival order — exactly what the collection plane must avoid.)
+    """
+
+    __slots__ = ("k", "counts")
+
+    def __init__(self, k: int = 10, counts: Optional[dict[Any, int]] = None) -> None:
+        if k < 1:
+            raise ValueError("top-k needs k >= 1")
+        self.k = k
+        self.counts: dict[Any, int] = dict(counts) if counts else {}
+
+    def observe(self, key: Any, n: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + n
+
+    def merge(self, other: "TopKSummary") -> None:
+        mine = self.counts
+        for key, n in other.counts.items():
+            mine[key] = mine.get(key, 0) + n
+        self.k = max(self.k, other.k)
+
+    def copy(self) -> "TopKSummary":
+        return TopKSummary(self.k, self.counts)
+
+    def top(self, k: Optional[int] = None) -> list[tuple[Any, int]]:
+        """The k heaviest keys, count-descending, key-ascending on ties."""
+        ordered = sorted(self.counts.items(),
+                         key=lambda item: (-item[1], _canonical_key(item[0])))
+        return ordered[:k if k is not None else self.k]
+
+    def as_dict(self) -> dict:
+        return {"type": "top-k", "k": self.k,
+                "top": [[_canonical_key(key), n] for key, n in self.top()],
+                "distinct_keys": len(self.counts)}
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TopKSummary) and self.k == other.k
+                and self.counts == other.counts)
+
+    def __repr__(self) -> str:
+        return f"TopKSummary(k={self.k}, distinct={len(self.counts)})"
+
+
+class SeriesSummary:
+    """A multiset of ``(time, key, value)`` samples in canonical order.
+
+    ``merge`` is multiset union followed by a canonical re-sort on
+    ``(time, key, value)``, so any merge order (and any sharding of the
+    sources) lands on the identical sample sequence.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: Optional[Iterable[tuple]] = None) -> None:
+        self.samples: list[tuple] = sorted(samples, key=self._sort_key) \
+            if samples else []
+
+    @staticmethod
+    def _sort_key(sample: tuple) -> tuple:
+        time, key, value = sample
+        return (time, _canonical_key(key), value)
+
+    def add(self, time: float, key: Any, value: float) -> None:
+        self.samples.append((time, key, value))
+        # Keep canonical order without a full re-sort on in-order appends.
+        if len(self.samples) > 1 and \
+                self._sort_key(self.samples[-2]) > self._sort_key(self.samples[-1]):
+            self.samples.sort(key=self._sort_key)
+
+    def merge(self, other: "SeriesSummary") -> None:
+        self.samples.extend(other.samples)
+        self.samples.sort(key=self._sort_key)
+
+    def copy(self) -> "SeriesSummary":
+        clone = SeriesSummary()
+        clone.samples = list(self.samples)
+        return clone
+
+    def series(self, key: Any) -> list[tuple[float, float]]:
+        """The (time, value) points recorded for one key, in time order."""
+        return [(t, v) for t, k, v in self.samples if k == key]
+
+    def keys(self) -> list[Any]:
+        seen = {k: None for _, k, _ in self.samples}        # ordered de-dup
+        return sorted(seen, key=_canonical_key)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def as_dict(self) -> dict:
+        return {"type": "series",
+                "samples": [[t, _canonical_key(k), v] for t, k, v in self.samples]}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SeriesSummary) and self.samples == other.samples
+
+    def __repr__(self) -> str:
+        return f"SeriesSummary({len(self.samples)} samples, {len(self.keys())} keys)"
+
+
+class SummaryBundle:
+    """A keyed product of mergeable parts; ``merge`` is key-wise.
+
+    Parts may be any of the monoids above or any foreign object with a
+    commutative ``merge`` (bitmap sketches OR-merge, for instance).  Keys
+    absent on one side are cloned from the other, so the empty bundle is
+    the identity element.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Optional[dict[Any, Any]] = None) -> None:
+        self.parts: dict[Any, Any] = dict(parts) if parts else {}
+
+    def merge(self, other: "SummaryBundle") -> None:
+        mine = self.parts
+        for key, part in other.parts.items():
+            if key in mine:
+                mine[key].merge(part)
+            else:
+                mine[key] = summary_copy(part)
+
+    def copy(self) -> "SummaryBundle":
+        return SummaryBundle({key: summary_copy(part)
+                              for key, part in self.parts.items()})
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self.parts.items())
+
+    def keys(self):
+        return self.parts.keys()
+
+    def __getitem__(self, key: Any) -> Any:
+        return self.parts[key]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self.parts.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.parts
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def as_dict(self) -> dict:
+        return {"type": "bundle",
+                "parts": {_canonical_key(key): summary_jsonable(self.parts[key])
+                          for key in sorted(self.parts, key=_canonical_key)}}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SummaryBundle) and self.parts == other.parts
+
+    def __repr__(self) -> str:
+        return f"SummaryBundle({sorted(map(_canonical_key, self.parts))})"

@@ -1,0 +1,336 @@
+"""The virtual-IP front door and the sharded collection plane (§4.5).
+
+The paper's deployment model puts the collector tier behind one virtual IP
+and load-balances it; this module reproduces that shape:
+
+* :class:`CollectPlane` owns the shard tier (N :class:`CollectorShard`
+  services), the transport policy (``"inline"`` direct calls or
+  ``"network"`` summary packets over the simulated fabric), the epoch
+  schedule, and the global merge.
+* :class:`VirtualCollector` is the per-application front door.  It keeps
+  the legacy :class:`repro.endhost.aggregator.Collector` surface —
+  ``submit(host, summary, time)``, the ``summaries`` list, ``len()`` — so
+  a single-shard inline plane is byte-identical to the unsharded path
+  (asserted by the differential tests), while also splitting each summary
+  into keyed parts and consistently hashing ``(app, host, key)`` across
+  the shards.
+
+Sharding is semantics-preserving because (a) a given (app, host, key)
+always lands on the same shard, so last-writer-wins replacement is local
+to one shard at any shard count, and (b) the per-key summaries are
+commutative monoids (:mod:`repro.collect.summary`), so
+:meth:`CollectPlane.merge` reconstructs the identical global view from any
+partition — merged results are invariant across shard counts and
+submission orders (tested, and swept by
+``benchmarks/bench_collector_scale.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.packet import (ETHERNET_HEADER_BYTES, IPV4_HEADER_BYTES,
+                              UDP_HEADER_BYTES, Packet)
+
+from .shard import (COLLECT_UDP_PORT_BASE, CollectorShard, Submission,
+                    summary_wire_bytes)
+from .summary import SummaryBundle, _canonical_key, summary_copy
+
+#: Transports the plane understands.
+TRANSPORTS = ("inline", "network")
+
+
+def shard_index(app: str, host: str, key: Any, shard_count: int) -> int:
+    """Consistent placement of (app, host, key) among ``shard_count`` shards.
+
+    Hashed with blake2b so placement is stable across processes and runs
+    (Python's builtin ``hash`` is salted per process and would break run
+    determinism).
+    """
+    token = f"{app}|{host}|{_canonical_key(key)}".encode()
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shard_count
+
+
+class VirtualCollector:
+    """The per-application face of the plane; drop-in for ``Collector``.
+
+    Submissions are recorded front-door (the legacy ``summaries`` list and
+    an optional ``downstream`` collector see exactly what the unsharded
+    path would), then split into parts and routed to the shard tier.
+    """
+
+    def __init__(self, plane: "CollectPlane", app: str,
+                 name: Optional[str] = None,
+                 downstream: Optional[Any] = None,
+                 retain: bool = True) -> None:
+        self.plane = plane
+        self.app = app
+        self.name = name if name is not None else f"{app}-collector"
+        self.downstream = downstream
+        # retain=False drops the front-door log (shard state is LWW-bounded
+        # either way): under epoch pushes the log would otherwise hold every
+        # cumulative snapshot of every host — O(epochs x summary size).
+        self.retain = retain
+        self.summaries: list[tuple[str, Any]] = []
+        self.submission_times: list[float] = []
+        self.submitted = 0
+
+    def submit(self, host_name: str, summary: Any, time: float = 0.0) -> None:
+        """Receive one summary from a host's aggregator and shard it."""
+        if self.retain:
+            self.summaries.append((host_name, summary))
+            self.submission_times.append(time)
+        self.submitted += 1
+        if self.downstream is not None:
+            self.downstream.submit(host_name, summary, time)
+        self.plane.route(self.app, host_name, summary, time)
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    # ------------------------------------------------------------------ views
+    def merge(self, flush: bool = True) -> dict[Any, Any]:
+        """This app's reconstructed global view: key -> merged summary."""
+        return {key: summary for (app, key), summary
+                in self.plane.merge(flush=flush).items() if app == self.app}
+
+    def merged_summary(self, flush: bool = True) -> Any:
+        """The global view as one object: a bundle of keyed parts, or —
+        when the app submits unkeyed summaries — the single merged summary."""
+        view = self.merge(flush=flush)
+        if set(view) == {""}:
+            return view[""]
+        return SummaryBundle(view)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<VirtualCollector {self.name!r} app={self.app!r} "
+                f"submitted={self.submitted} shards={self.plane.shard_count}>")
+
+
+@dataclass
+class PlaneStats:
+    """Aggregate accounting across the whole collection plane."""
+
+    summaries_submitted: int = 0
+    parts_routed: int = 0
+    parts_delivered: int = 0
+    parts_dropped: int = 0
+    flushes: int = 0
+    epoch_flushes: int = 0
+    batch_flushes: int = 0
+    bytes_received: int = 0
+    packets_sent: int = 0
+    per_shard: list[dict] = field(default_factory=list)
+
+
+class CollectPlane:
+    """N collector shards behind one virtual address, plus the reducer.
+
+    Args:
+        shard_count: size of the collector tier.
+        transport: ``"inline"`` routes submissions as direct calls (no
+            simulated traffic — runs stay byte-identical to the unsharded
+            path); ``"network"`` ships them as UDP summary packets from the
+            submitting host to the shard's host (requires :meth:`attach`).
+        epoch_s: flush period.  When attached, every epoch the plane first
+            fires its epoch callbacks (the session layer pushes aggregator
+            summaries there), then flushes every shard's batch buffer.
+        batch / capacity: per-shard batch-fold size and backpressure bound
+            (see :class:`~repro.collect.shard.CollectorShard`;
+            ``batch=None`` defers folding to epochs/finish, which is the
+            configuration where ``capacity`` backpressure actually bites).
+        shard_hosts: explicit placement for the network transport; defaults
+            to round-robin over the network's hosts in sorted name order.
+        retain_submissions: keep the per-app front-door log (``summaries``/
+            ``submission_times``).  Disable for long epoch-push runs — the
+            log holds every cumulative snapshot, while shard state stays
+            bounded by last-writer-wins either way.
+    """
+
+    def __init__(self, shard_count: int = 1, *, transport: str = "inline",
+                 epoch_s: Optional[float] = None, batch: Optional[int] = 64,
+                 capacity: int = 4096,
+                 shard_hosts: Optional[list[str]] = None,
+                 retain_submissions: bool = True) -> None:
+        if shard_count < 1:
+            raise ValueError("the collector tier needs at least one shard")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"choose from {TRANSPORTS}")
+        if epoch_s is not None and epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        self.shard_count = shard_count
+        self.transport = transport
+        self.epoch_s = epoch_s
+        self.retain_submissions = retain_submissions
+        self.shard_hosts = list(shard_hosts) if shard_hosts is not None else None
+        self.shards = [CollectorShard(index, batch=batch, capacity=capacity)
+                       for index in range(shard_count)]
+        self.front_doors: dict[str, VirtualCollector] = {}
+        self._seq = 0
+        self._sim = None
+        self._network = None
+        self._epoch_callbacks: list[Callable[[float], None]] = []
+        self._epoch_process = None
+        self.packets_sent = 0
+
+    # ------------------------------------------------------------- provisioning
+    def front_door(self, app: str, name: Optional[str] = None,
+                   downstream: Optional[Any] = None) -> VirtualCollector:
+        """Create (once) the virtual collector for one application."""
+        if app in self.front_doors:
+            raise ValueError(f"application {app!r} already has a front door")
+        door = VirtualCollector(self, app, name=name, downstream=downstream,
+                                retain=self.retain_submissions)
+        self.front_doors[app] = door
+        return door
+
+    def attach(self, sim, network) -> None:
+        """Bind the tier to a simulated network and start the epoch clock.
+
+        Shards are placed round-robin over the hosts (sorted by name, or
+        ``shard_hosts`` verbatim) and listen on consecutive UDP ports from
+        ``COLLECT_UDP_PORT_BASE``, so shards sharing a host stay distinct.
+        """
+        self._sim = sim
+        self._network = network
+        host_names = self.shard_hosts if self.shard_hosts is not None \
+            else sorted(network.hosts)
+        if not host_names:
+            raise ValueError("cannot attach a collector tier to a hostless network")
+        for shard in self.shards:
+            host = network.hosts[host_names[shard.index % len(host_names)]]
+            shard.attach(sim, host, COLLECT_UDP_PORT_BASE + shard.index,
+                         epoch_s=self.epoch_s)
+        if self.epoch_s is not None:
+            self._epoch_process = sim.schedule_periodic(self.epoch_s,
+                                                        self._epoch_tick)
+
+    def on_epoch(self, callback: Callable[[float], None]) -> None:
+        """Run ``callback(now)`` at every epoch, before the shard flushes."""
+        self._epoch_callbacks.append(callback)
+
+    def _epoch_tick(self) -> None:
+        now = self._sim.now
+        for callback in self._epoch_callbacks:
+            callback(now)
+        # Shards with their own epoch process flush themselves; this extra
+        # pass only matters for submissions the callbacks just produced.
+        for shard in self.shards:
+            if shard.pending:
+                shard.flush(kind="epoch")
+
+    # ---------------------------------------------------------------- routing
+    def route(self, app: str, host: str, summary: Any, time: float) -> int:
+        """Split a summary into keyed parts and deliver them to shards."""
+        if isinstance(summary, SummaryBundle):
+            parts = [(key, part) for key, part in summary.items()]
+        else:
+            parts = [("", summary)]
+        per_shard: dict[int, list[Submission]] = {}
+        for key, part in parts:
+            seq = self._seq
+            self._seq += 1
+            submission = Submission(time=time, seq=seq, app=app, host=host,
+                                    key=key, summary=part)
+            index = shard_index(app, host, key, self.shard_count)
+            per_shard.setdefault(index, []).append(submission)
+        if self.transport == "inline":
+            for index, submissions in sorted(per_shard.items()):
+                shard = self.shards[index]
+                for submission in submissions:
+                    shard.ingest(submission)
+        else:
+            self._send_summary_packets(host, per_shard)
+        return len(parts)
+
+    def _send_summary_packets(self, host: str,
+                              per_shard: dict[int, list[Submission]]) -> None:
+        """Network transport: one UDP summary packet per target shard."""
+        if self._network is None:
+            raise RuntimeError("the network transport needs CollectPlane.attach"
+                               "(sim, network) before submissions are routed")
+        sender = self._network.hosts[host]
+        for index, submissions in sorted(per_shard.items()):
+            shard = self.shards[index]
+            if shard.host_name == host:
+                # Loopback: a summary for a shard on the submitting host
+                # never touches the wire.
+                for submission in submissions:
+                    shard.ingest(submission)
+                continue
+            payload_bytes = sum(32 + summary_wire_bytes(s.summary)
+                                for s in submissions)
+            size = (ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES
+                    + UDP_HEADER_BYTES + payload_bytes)
+            packet = Packet(src=host, dst=shard.host_name, size=size,
+                            protocol="udp", sport=shard.port, dport=shard.port,
+                            created_at=self._sim.now if self._sim else 0.0)
+            packet.payload = {"collect_submissions": list(submissions)}
+            self.packets_sent += 1
+            sender.send(packet)
+
+    # ----------------------------------------------------------------- reduce
+    def flush_all(self, kind: str = "final") -> None:
+        """Fold every shard's pending buffer into its state."""
+        for shard in self.shards:
+            if shard.pending:
+                shard.flush(kind=kind)
+
+    def merge(self, flush: bool = True) -> dict[tuple, Any]:
+        """The reconstructed global view: (app, key) -> merged summary.
+
+        Folds shard-partial views in sorted key order; since every per-key
+        summary is a commutative monoid and each (app, host, key) lives on
+        exactly one shard, the result is independent of shard count, shard
+        iteration order, and submission order (asserted in tests and by the
+        scaling benchmark).
+        """
+        if flush:
+            self.flush_all()
+        merged: dict[tuple, Any] = {}
+        for shard in self.shards:
+            for target, summary in shard.merged_view().items():
+                if target in merged:
+                    merged[target].merge(summary)
+                else:
+                    merged[target] = summary_copy(summary)
+        return {target: merged[target] for target
+                in sorted(merged, key=lambda t: (t[0], _canonical_key(t[1])))}
+
+    # ------------------------------------------------------------- accounting
+    def stats(self) -> PlaneStats:
+        stats = PlaneStats()
+        stats.summaries_submitted = sum(d.submitted for d in self.front_doors.values())
+        stats.parts_routed = self._seq
+        stats.packets_sent = self.packets_sent
+        for shard in self.shards:
+            stats.parts_delivered += shard.received
+            stats.parts_dropped += shard.dropped
+            stats.flushes += shard.flushes
+            stats.epoch_flushes += shard.epoch_flushes
+            stats.batch_flushes += shard.batch_flushes
+            stats.bytes_received += shard.bytes_received
+            stats.per_shard.append({
+                "shard": shard.name, "host": shard.host_name,
+                "received": shard.received, "dropped": shard.dropped,
+                "flushes": shard.flushes, "state_groups": len(shard.state),
+                "bytes_received": shard.bytes_received,
+            })
+        return stats
+
+    def stop(self) -> None:
+        """Stop every periodic process the plane owns (idempotent)."""
+        if self._epoch_process is not None:
+            self._epoch_process.stop()
+            self._epoch_process = None
+        for shard in self.shards:
+            shard.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CollectPlane shards={self.shard_count} "
+                f"transport={self.transport!r} epoch_s={self.epoch_s} "
+                f"apps={sorted(self.front_doors)}>")

@@ -1,7 +1,7 @@
 """End-host stack: TPP control plane, dataplane shim, executor, deployment framework."""
 
-from .aggregator import (Aggregator, Collector, DeployedApplication, PiggybackApplication,
-                         deploy)
+from .aggregator import (Aggregator, Collector, DeployedApplication, EndHostStackLike,
+                         PiggybackApplication, deploy)
 from .control_plane import Application, ControlPlaneAgent, TPPControlPlane
 from .dataplane import AppBinding, DataplaneShim, TPP_ECHO_PORT
 from .executor import ExecutorStats, TPPExecutor
@@ -10,7 +10,8 @@ from .stack import EndHostStack, install_stacks
 
 __all__ = [
     "Aggregator", "AppBinding", "Application", "Collector", "ControlPlaneAgent",
-    "DataplaneShim", "DeployedApplication", "EndHostStack", "ExecutorStats",
+    "DataplaneShim", "DeployedApplication", "EndHostStack", "EndHostStackLike",
+    "ExecutorStats",
     "FilterEntry", "FilterTable", "PacketFilter", "PiggybackApplication",
     "TPPControlPlane", "TPPExecutor", "TPP_ECHO_PORT", "deploy", "install_stacks",
     "match_all",

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.collect import CollectPlane
 from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, DeployedApplication,
@@ -128,6 +129,19 @@ class Experiment:
         self._stop_callbacks: list[Callable[[], None]] = []
         self._result: Optional[ExperimentResult] = None
 
+        # Collection plane (§4.5): built before any app's collector exists,
+        # so every TPP deployment below gets a virtual-IP front door.
+        self.collect_plane: Optional[CollectPlane] = None
+        self._plane_push_rounds = 0
+        cspec = scenario.collector_spec
+        if cspec is not None:
+            self.collect_plane = CollectPlane(
+                cspec.shards, transport=cspec.transport, epoch_s=cspec.epoch_s,
+                batch=cspec.batch, capacity=cspec.capacity,
+                shard_hosts=cspec.hosts, retain_submissions=cspec.retain)
+            self.collect_plane.attach(self.sim, self.network)
+            self.collect_plane.on_epoch(self._push_summaries)
+
         self.apps: dict[str, DeployedApplication] = {}
         self.collectors: dict[str, Collector] = {}
         for spec in scenario.tpp_specs:
@@ -158,9 +172,27 @@ class Experiment:
                 if group.policy == "hash":
                     group.salt = salt
 
+    def _push_summaries(self, now: float) -> None:
+        """One plane-initiated push round: every app, sorted hosts, stamped."""
+        self._plane_push_rounds += 1
+        for deployed in self.apps.values():
+            deployed.push_all_summaries(now)
+
     def _deploy_tpp(self, spec: "TppSpec") -> None:
         collector = spec.collector
-        if isinstance(collector, str):
+        if self.collect_plane is not None:
+            # Route this app through the virtual-IP tier.  A user-supplied
+            # collector object keeps receiving every submission as the
+            # front door's downstream sink, so its behaviour (and contents)
+            # match the unsharded path exactly.
+            if isinstance(collector, Collector):
+                collector = self.collect_plane.front_door(
+                    spec.name, name=collector.name, downstream=collector)
+            else:
+                name = collector if isinstance(collector, str) \
+                    else f"{spec.name}-collector"
+                collector = self.collect_plane.front_door(spec.name, name=name)
+        elif isinstance(collector, str):
             collector = Collector(collector)
         elif collector is None:
             collector = Collector(f"{spec.name}-collector")
@@ -208,6 +240,8 @@ class Experiment:
             # Quiesce every event source first, or the drain never goes idle.
             self.network.stop_switch_processes()
             self._stop_workloads()
+            if self.collect_plane is not None:
+                self.collect_plane.stop()      # epoch clocks are event sources
             self.sim.run_until_idle()
         return self.finish()
 
@@ -231,6 +265,15 @@ class Experiment:
             callback()
         for hook in self.scenario.finalize_hooks:
             hook(self)
+        if self.collect_plane is not None:
+            self.collect_plane.stop()
+            # Apps that never pushed on their own (beyond the plane's epoch
+            # rounds) owe the tier one final snapshot; then fold every
+            # shard's remaining batch so merge() sees a complete view.
+            for deployed in self.apps.values():
+                if deployed.push_rounds <= self._plane_push_rounds:
+                    deployed.push_all_summaries(self.sim.now)
+            self.collect_plane.flush_all()
         self._result = self._assemble_result()
         return self._result
 
@@ -254,6 +297,14 @@ class Experiment:
             traces += tcpu.traces_compiled
             trace_runs += tcpu.trace_executions
             trace_falls += tcpu.trace_fallbacks
+        shards = submitted = delivered = dropped = flushes = 0
+        if self.collect_plane is not None:
+            plane_stats = self.collect_plane.stats()
+            shards = self.collect_plane.shard_count
+            submitted = plane_stats.summaries_submitted
+            delivered = plane_stats.parts_delivered
+            dropped = plane_stats.parts_dropped
+            flushes = plane_stats.flushes
         return ExperimentResult(
             scenario=self.scenario.name,
             topology=self.scenario.topology_name,
@@ -271,6 +322,11 @@ class Experiment:
             traces_compiled=traces,
             trace_executions=trace_runs,
             trace_fallbacks=trace_falls,
+            collect_shards=shards,
+            summaries_submitted=submitted,
+            summary_parts_delivered=delivered,
+            summary_parts_dropped=dropped,
+            summary_flushes=flushes,
             apps=dict(self.apps),
             collectors=dict(self.collectors),
             workloads=dict(self.workloads),
@@ -310,6 +366,14 @@ class ExperimentResult:
     traces_compiled: int = 0
     trace_executions: int = 0
     trace_fallbacks: int = 0
+    # Collection-plane telemetry (all zero unless the scenario was built
+    # with .collector(...)): tier size, front-door submissions, shard-side
+    # deliveries/backpressure drops (in summary parts), and flush rounds.
+    collect_shards: int = 0
+    summaries_submitted: int = 0
+    summary_parts_delivered: int = 0
+    summary_parts_dropped: int = 0
+    summary_flushes: int = 0
     apps: dict[str, DeployedApplication] = field(default_factory=dict)
     collectors: dict[str, Collector] = field(default_factory=dict)
     workloads: dict[str, Any] = field(default_factory=dict)
@@ -352,6 +416,21 @@ class ExperimentResult:
         """host -> that host's aggregator summary."""
         return {host: aggregator.summarize()
                 for host, aggregator in self.aggregators(app).items()}
+
+    def merged_summary(self, app: Optional[str] = None):
+        """The collector tier's reconstructed global view for one app.
+
+        Only available when the scenario was built with ``.collector(...)``
+        — the merge is performed by the app's virtual collector
+        (:meth:`repro.collect.virtual.VirtualCollector.merged_summary`).
+        """
+        collector = self.collector(app)
+        merger = getattr(collector, "merged_summary", None)
+        if merger is None:
+            raise TypeError(
+                "merged_summary() needs the sharded collection plane; "
+                "build the scenario with .collector(shards=...)")
+        return merger()
 
     def merged_samples(self, app: Optional[str] = None, attr: str = "samples",
                        key: Optional[Callable] = None) -> list:

@@ -39,10 +39,13 @@ every random draw taken from one ``random.Random(seed)``:
    flipped to the compiled-trace engine (byte-identical results, see
    :mod:`repro.core.trace`);
 4. **stacks** — the §4 end-host stack is installed on (a subset of) hosts;
-5. **TPP deployments** — each ``.tpp(...)`` spec, in declaration order;
-6. **workloads** — each ``.workload(...)`` spec, in declaration order
+5. **collection plane** — with ``.collector(...)``, the sharded
+   :class:`~repro.collect.CollectPlane` is built and attached (shard
+   placement, epoch clock), before any app's collector is created;
+6. **TPP deployments** — each ``.tpp(...)`` spec, in declaration order;
+7. **workloads** — each ``.workload(...)`` spec, in declaration order
    (registered workloads draw their child seed here, also in order);
-7. **setup hooks** — each ``.setup(...)`` hook, in declaration order.
+8. **setup hooks** — each ``.setup(...)`` hook, in declaration order.
 
 Because the order is fixed and the seed flows from one rng, equal
 scenarios with equal seeds produce byte-identical event sequences — the
@@ -97,6 +100,26 @@ class WorkloadSpec:
     kwargs: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class CollectorSpec:
+    """The sharded collection plane a scenario opts into (§4.5).
+
+    Materialised at build time as a :class:`repro.collect.CollectPlane`;
+    every declared TPP application's collector becomes a
+    :class:`~repro.collect.virtual.VirtualCollector` front door onto the
+    shared shard tier (user-supplied collector objects become the front
+    door's downstream sink, so their behaviour is preserved exactly).
+    """
+
+    shards: int = 1
+    epoch_s: Optional[float] = None
+    transport: str = "inline"
+    batch: Optional[int] = 64
+    capacity: int = 4096
+    hosts: Optional[list[str]] = None
+    retain: bool = True
+
+
 class Scenario:
     """Fluent builder for a complete, seeded experiment session.
 
@@ -132,6 +155,7 @@ class Scenario:
         self.host_subset = list(hosts) if hosts is not None else None
         self.seed_ecmp = seed_ecmp
         self.compile_traces = compile_traces
+        self.collector_spec: Optional[CollectorSpec] = None
         self.tpp_specs: list[TppSpec] = []
         self.workload_specs: list[WorkloadSpec] = []
         self.setup_hooks: list[Hook] = []
@@ -204,6 +228,69 @@ class Scenario:
                              f"pass name= to disambiguate")
         self.workload_specs.append(WorkloadSpec(name=label, workload=workload,
                                                 kwargs=dict(kwargs)))
+        return self
+
+    def collector(self, shards: int = 1, *, epoch_s: Optional[float] = None,
+                  transport: str = "inline", batch: Optional[int] = 64,
+                  capacity: int = 4096,
+                  hosts: Optional[list[str]] = None,
+                  retain: bool = True) -> "Scenario":
+        """Route every application's summaries through a sharded collector
+        tier behind one virtual address (§4.5's deployment model).
+
+        Args:
+            shards: number of :class:`~repro.collect.CollectorShard`
+                services; (app, host, key) is consistently hashed across
+                them and ``merge()`` reconstructs the global view, so
+                merged results are invariant in this number.
+            epoch_s: push-and-flush period.  Each epoch the live experiment
+                pushes every aggregator's summary (stamped with the
+                simulation time) and the shards fold their batch buffers.
+                ``None`` (default) defers to one push/flush at finish.
+            transport: ``"inline"`` delivers submissions as direct calls —
+                no simulated traffic, so runs stay byte-identical to the
+                unsharded path; ``"network"`` ships summaries as UDP
+                packets from the submitting host to the shard's host over
+                the simulated fabric (epoch pushes recommended: packets
+                submitted after the clock stops are never delivered).
+            batch: shard batch size — the buffer folds into merged state
+                when it fills (or at each epoch, whichever comes first).
+                ``None`` disables the fill trigger: folds happen only at
+                epochs and at finish.
+            capacity: shard backpressure bound; submissions beyond a full
+                buffer are dropped and accounted, never queued unboundedly.
+                Because a batch fold empties the buffer synchronously, the
+                bound only engages with deferred folding (``batch=None``)
+                or when ``capacity < batch``.
+            hosts: explicit shard placement for the network transport
+                (defaults to round-robin over sorted host names).
+            retain: keep each app's front-door submission log.  Disable
+                for long epoch-push runs — the log would hold every
+                cumulative snapshot, while shard state stays bounded by
+                last-writer-wins regardless.
+
+        Single-shard inline planes are byte-identical to the legacy
+        in-memory :class:`~repro.endhost.Collector` (differential-tested
+        for all six apps); ``benchmarks/bench_collector_scale.py`` sweeps
+        shard counts and asserts merged-view invariance.
+        """
+        # Validation is eager (like topology/workload names) so mistakes
+        # surface at declaration, not deep inside the build.
+        from repro.collect import TRANSPORTS
+        if shards < 1:
+            raise ValueError("the collector tier needs at least one shard")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"choose from {TRANSPORTS}")
+        if epoch_s is not None and epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        if (batch is not None and batch < 1) or capacity < 1:
+            raise ValueError("batch (when set) and capacity must be >= 1")
+        self.collector_spec = CollectorSpec(shards=shards, epoch_s=epoch_s,
+                                            transport=transport, batch=batch,
+                                            capacity=capacity,
+                                            hosts=list(hosts) if hosts else None,
+                                            retain=retain)
         return self
 
     def collect(self, on_tpp: Callable, *, app: Optional[str] = None) -> "Scenario":

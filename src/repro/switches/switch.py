@@ -75,6 +75,10 @@ class TPPSwitch(Node):
         self.packets_forwarded = 0
         self.packets_dropped = 0
         self.tpp_packets_seen = 0
+        # TPP hops where an instruction was skipped with SKIPPED_PACKET_FULL
+        # (§3.3: the packet ran out of memory at *this* switch).  The end
+        # host sees the same signal as TPP.out_of_room / tpps_truncated.
+        self.tpps_packet_full = 0
 
         self._stats_process = sim.schedule_periodic(utilization_interval_s,
                                                     self._update_port_stats)
@@ -178,7 +182,10 @@ class TPPSwitch(Node):
         if packet.tpp is not None and self.tpp_enabled:
             if self.parser.classify(packet):
                 self.tpp_packets_seen += 1
-                self.tcpu.execute_program(packet.tpp, self.memory, context)
+                execution = self.tcpu.execute_program(packet.tpp, self.memory,
+                                                      context)
+                if execution.packet_full:
+                    self.tpps_packet_full += 1
                 packet.tpp.advance_hop()
                 # A TPP may have rewritten the packet's output port (Table 2
                 # marks it writable); honour the redirection.

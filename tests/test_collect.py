@@ -1,0 +1,447 @@
+"""Tests for the sharded collection plane (repro.collect, §4.5).
+
+Covers the mergeable-summary monoids, shard batching/epoch/backpressure
+behaviour, virtual-IP routing and the order-independent merge, the
+Scenario integration, the end-to-end truncation accounting chain, and the
+differential guarantee: a single-shard inline plane is byte-identical to
+the legacy in-memory collector on every app scenario.
+"""
+
+import random
+
+import pytest
+
+from repro.collect import (CollectPlane, CollectorShard, CounterSummary,
+                           HistogramSummary, SeriesSummary, Submission,
+                           SummaryBundle, TopKSummary, merge_summaries,
+                           shard_index, summary_jsonable)
+from repro.endhost import Collector, PacketFilter
+from repro.net import mbps
+from repro.session import Scenario
+
+
+def counter(**counts):
+    return CounterSummary(dict(counts))
+
+
+class TestSummaryMonoids:
+    def test_counter_merge_adds(self):
+        a = counter(x=2, y=1)
+        a.merge(counter(x=3, z=5))
+        assert a.counts == {"x": 5, "y": 1, "z": 5}
+        assert a["x"] == 5 and a.get("missing", 7) == 7 and "z" in a
+
+    def test_histogram_buckets_and_merge(self):
+        h = HistogramSummary((0, 2, 4))
+        for value in (0, 1, 2, 3, 4, 5):
+            h.observe(value)
+        assert h.bins == [1, 2, 2, 1]          # <=0, (0,2], (2,4], >4
+        other = HistogramSummary((0, 2, 4))
+        other.observe(10, n=3)
+        h.merge(other)
+        assert h.bins == [1, 2, 2, 4] and h.count == 9
+        with pytest.raises(ValueError):
+            h.merge(HistogramSummary((0, 1)))
+
+    def test_topk_is_exact_underneath(self):
+        t = TopKSummary(k=2)
+        for key, n in (("a", 5), ("b", 3), ("c", 9), ("d", 1)):
+            t.observe(key, n)
+        assert t.top() == [("c", 9), ("a", 5)]
+        assert t.top(4) == [("c", 9), ("a", 5), ("b", 3), ("d", 1)]
+        t.merge(TopKSummary(k=2, counts={"d": 100}))
+        assert t.top(1) == [("d", 101)]        # merge never lost the tail
+
+    def test_topk_tie_break_is_deterministic(self):
+        t = TopKSummary(k=3, counts={"b": 2, "a": 2, "c": 2})
+        assert t.top() == [("a", 2), ("b", 2), ("c", 2)]
+
+    def test_series_merge_is_canonical(self):
+        a = SeriesSummary([(0.2, "q", 1), (0.1, "q", 2)])
+        b = SeriesSummary([(0.15, "r", 3)])
+        a.merge(b)
+        assert a.samples == [(0.1, "q", 2), (0.15, "r", 3), (0.2, "q", 1)]
+        assert a.series("q") == [(0.1, 2), (0.2, 1)]
+        assert a.keys() == ["q", "r"]
+
+    def test_bundle_merges_keywise_and_clones_missing(self):
+        a = SummaryBundle({"c": counter(n=1)})
+        b = SummaryBundle({"c": counter(n=2), "h": HistogramSummary((1,))})
+        a.merge(b)
+        assert a["c"].counts == {"n": 3}
+        assert "h" in a
+        b["h"].observe(0)                       # mutating b must not leak into a
+        assert a["h"].count == 0
+
+    @pytest.mark.parametrize("make", [
+        lambda rng: counter(**{f"k{rng.randrange(4)}": rng.randrange(10)}),
+        lambda rng: TopKSummary(k=3, counts={f"k{rng.randrange(6)}": rng.randrange(9) + 1}),
+        lambda rng: SeriesSummary([(rng.random(), f"q{rng.randrange(3)}", rng.randrange(5))]),
+    ])
+    def test_merge_is_commutative_and_associative(self, make):
+        rng = random.Random(7)
+        for _ in range(20):
+            a, b, c = make(rng), make(rng), make(rng)
+            assert merge_summaries(a, b) == merge_summaries(b, a)
+            assert merge_summaries(merge_summaries(a, b), c) == \
+                merge_summaries(a, merge_summaries(b, c))
+
+    def test_merge_summaries_leaves_inputs_alone(self):
+        a, b = counter(x=1), counter(x=2)
+        merged = merge_summaries(a, b)
+        assert merged.counts == {"x": 3}
+        assert a.counts == {"x": 1} and b.counts == {"x": 2}
+
+    def test_jsonable_views_are_canonical(self):
+        bundle = SummaryBundle({"z": counter(b=1, a=2), "a": TopKSummary(k=1)})
+        rendered = summary_jsonable(bundle)
+        assert list(rendered["parts"]) == ["a", "z"]
+        assert list(rendered["parts"]["z"]["counts"]) == ["a", "b"]
+
+
+def submission(seq, host="h0", key="", app="app", time=0.0, summary=None):
+    return Submission(time=time, seq=seq, app=app, host=host, key=key,
+                      summary=summary if summary is not None else counter(n=1))
+
+
+class TestCollectorShard:
+    def test_batch_fill_triggers_a_flush(self):
+        shard = CollectorShard(0, batch=3)
+        for seq in range(5):
+            shard.ingest(submission(seq, host=f"h{seq}"))
+        assert shard.batch_flushes == 1
+        assert len(shard.pending) == 2          # the partial next batch
+        assert len(shard.state) == 3
+
+    def test_capacity_drops_are_accounted(self):
+        shard = CollectorShard(0, batch=100, capacity=2)
+        accepted = [shard.ingest(submission(seq, host=f"h{seq}")) for seq in range(5)]
+        assert accepted == [True, True, False, False, False]
+        assert shard.dropped == 3 and shard.received == 2
+
+    def test_last_writer_wins_per_source(self):
+        shard = CollectorShard(0, batch=100)
+        shard.ingest(submission(0, time=1.0, summary=counter(n=5)))
+        shard.ingest(submission(1, time=2.0, summary=counter(n=9)))
+        shard.ingest(submission(2, host="h1", time=1.5, summary=counter(n=2)))
+        shard.flush()
+        view = shard.merged_view()
+        # h0's newest snapshot (n=9) replaces its older one; h1 merges in.
+        assert view[("app", "")] == counter(n=11)
+        assert shard.stale_replaced == 1
+
+    def test_late_stale_snapshot_does_not_regress(self):
+        shard = CollectorShard(0, batch=100)
+        shard.ingest(submission(1, time=2.0, summary=counter(n=9)))
+        shard.flush()
+        shard.ingest(submission(0, time=1.0, summary=counter(n=5)))
+        shard.flush()
+        assert shard.merged_view()[("app", "")] == counter(n=9)
+
+    def test_merged_view_copies_state(self):
+        shard = CollectorShard(0, batch=100)
+        shard.ingest(submission(0, summary=counter(n=1)))
+        shard.flush()
+        view = shard.merged_view()
+        view[("app", "")].add("n", 100)
+        assert shard.merged_view()[("app", "")] == counter(n=1)
+
+
+class TestVirtualCollector:
+    def test_routing_is_stable_and_total(self):
+        for count in (1, 2, 4, 8):
+            for host in ("h0", "h1", "h2"):
+                index = shard_index("app", host, "key", count)
+                assert 0 <= index < count
+                assert index == shard_index("app", host, "key", count)
+
+    def test_front_door_matches_legacy_collector_surface(self):
+        plane = CollectPlane(1)
+        door = plane.front_door("app", name="c")
+        legacy = Collector("c")
+        for target in (door, legacy):
+            target.submit("h1", counter(n=1), time=0.25)
+            target.submit("h0", counter(n=2), time=0.50)
+        assert door.summaries == legacy.summaries
+        assert door.submission_times == legacy.submission_times
+        assert len(door) == len(legacy) == 2
+
+    def test_duplicate_front_door_rejected(self):
+        plane = CollectPlane(1)
+        plane.front_door("app")
+        with pytest.raises(ValueError):
+            plane.front_door("app")
+
+    def test_downstream_sees_every_submission(self):
+        sink = Collector("sink")
+        plane = CollectPlane(2)
+        door = plane.front_door("app", downstream=sink)
+        door.submit("h0", counter(n=1), time=0.5)
+        assert sink.summaries == [("h0", counter(n=1))]
+        assert sink.submission_times == [0.5]
+
+    @staticmethod
+    def _workload(rng):
+        """A deterministic batch of keyed bundle submissions."""
+        out = []
+        for host in (f"h{i}" for i in range(6)):
+            bundle = SummaryBundle({
+                "counters": counter(tpps=rng.randrange(50), tpps_truncated=rng.randrange(3)),
+                "top": TopKSummary(k=4, counts={f"q{rng.randrange(5)}": rng.randrange(9) + 1}),
+            })
+            out.append((host, bundle, rng.random()))
+        return out
+
+    def test_merge_is_invariant_across_shard_counts_and_orders(self):
+        reference = None
+        for shards in (1, 2, 4, 8):
+            for order_seed in (0, 1):
+                plane = CollectPlane(shards, batch=2)
+                door = plane.front_door("app")
+                work = self._workload(random.Random(42))
+                random.Random(order_seed).shuffle(work)
+                for host, bundle, when in work:
+                    door.submit(host, bundle, time=when)
+                merged = {f"{app}/{key}": summary_jsonable(s)
+                          for (app, key), s in plane.merge().items()}
+                if reference is None:
+                    reference = merged
+                assert merged == reference, (shards, order_seed)
+        assert set(reference) == {"app/counters", "app/top"}
+
+    def test_merged_summary_unkeyed_vs_bundle(self):
+        plane = CollectPlane(2)
+        door = plane.front_door("plain")
+        door.submit("h0", counter(n=1))
+        door.submit("h1", counter(n=2))
+        assert door.merged_summary() == counter(n=3)
+
+        keyed = plane.front_door("keyed")
+        keyed.submit("h0", SummaryBundle({"a": counter(n=1)}))
+        view = keyed.merged_summary()
+        assert isinstance(view, SummaryBundle) and view["a"] == counter(n=1)
+
+    def test_network_transport_requires_attach(self):
+        plane = CollectPlane(1, transport="network")
+        door = plane.front_door("app")
+        with pytest.raises(RuntimeError):
+            door.submit("h0", counter(n=1))
+
+
+def monitored_scenario(shards=None, seed=3, **collector_kwargs):
+    """A dumbbell scenario whose app produces real mergeable summaries."""
+    from repro.apps.microburst import MICROBURST_TPP_SOURCE, MicroburstAggregator
+    scenario = (Scenario("dumbbell", seed=seed, hosts_per_side=2,
+                         link_rate_bps=mbps(10))
+                .tpp("monitor", MICROBURST_TPP_SOURCE, num_hops=6,
+                     filter=PacketFilter(protocol="udp"),
+                     aggregator=MicroburstAggregator)
+                .workload("messages", offered_load=0.3, message_bytes=2000))
+    if shards is not None:
+        scenario.collector(shards=shards, **collector_kwargs)
+    return scenario
+
+
+class TestScenarioIntegration:
+    def test_collector_spec_validation_is_eager(self):
+        with pytest.raises(ValueError):
+            Scenario("dumbbell").collector(shards=0)
+        with pytest.raises(ValueError):
+            Scenario("dumbbell").collector(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            Scenario("dumbbell").collector(epoch_s=0)
+        with pytest.raises(ValueError):
+            Scenario("dumbbell").collector(batch=0)
+
+    def test_plane_telemetry_lands_on_the_result(self):
+        result = monitored_scenario(shards=2).run(duration_s=0.1)
+        assert result.collect_shards == 2
+        # One finish-time push per host, four bundle parts per summary.
+        hosts = len(result.stacks)
+        assert result.summaries_submitted == hosts
+        assert result.summary_parts_delivered == 4 * hosts
+        assert result.summary_parts_dropped == 0
+        assert result.summary_flushes >= 1
+        assert result.experiment.collect_plane is not None
+
+    def test_merged_summary_requires_a_plane(self):
+        result = monitored_scenario().run(duration_s=0.05)
+        with pytest.raises(TypeError):
+            result.merged_summary("monitor")
+
+    def test_merged_view_matches_unsharded_totals(self):
+        plain = monitored_scenario().run(duration_s=0.2)
+        for shards in (1, 3):
+            sharded = monitored_scenario(shards=shards).run(duration_s=0.2)
+            assert sharded.events_executed == plain.events_executed
+            merged = sharded.merged_summary("monitor")
+            assert merged["counters"]["tpps"] == plain.tpps_received
+            assert merged["counters"]["samples"] == \
+                sum(len(a.samples) for a in plain.aggregators("monitor").values())
+            # The merged series is the canonical interleave of every host's.
+            assert len(merged["queue_series"]) == len(plain.merged_samples("monitor"))
+
+    def test_epoch_pushes_stamp_simulation_time(self):
+        result = monitored_scenario(shards=2, epoch_s=0.05).run(duration_s=0.2)
+        door = result.collectors["monitor"]
+        assert len(door) >= 3 * len(result.stacks)      # several epoch rounds
+        assert any(t > 0 for t in door.submission_times)
+        stats = result.experiment.collect_plane.stats()
+        assert stats.epoch_flushes >= 1
+        # Per-source snapshots are cumulative: the merged view reflects the
+        # final state, not the sum of every epoch's submission.
+        merged = result.merged_summary("monitor")
+        assert merged["counters"]["tpps"] == result.tpps_received
+
+    def test_network_transport_ships_summary_packets(self):
+        result = monitored_scenario(shards=2, transport="network",
+                                    epoch_s=0.05).run(duration_s=0.2,
+                                                      run_until_idle=True)
+        plane = result.experiment.collect_plane
+        assert plane.packets_sent > 0
+        delivered = sum(shard.received for shard in plane.shards)
+        assert delivered > 0
+        merged = result.merged_summary("monitor")
+        assert merged["counters"]["tpps"] > 0
+
+    def test_backpressure_drops_are_surfaced(self):
+        # batch=None defers folding to epoch boundaries — the configuration
+        # where the capacity bound actually engages between flushes.
+        result = monitored_scenario(shards=1, epoch_s=0.02, batch=None,
+                                    capacity=3).run(duration_s=0.2)
+        assert result.summary_parts_dropped > 0
+        assert result.summary_parts_delivered <= 3 * result.summary_flushes + 3
+
+    def test_empty_flush_ticks_are_not_counted(self):
+        shard = CollectorShard(0, batch=None)
+        assert shard.flush(kind="epoch") == 0
+        assert shard.flushes == 0 and shard.epoch_flushes == 0
+        shard.ingest(submission(0))
+        assert shard.flush(kind="epoch") == 1
+        assert shard.flushes == 1 and shard.epoch_flushes == 1
+
+    def test_retain_false_bounds_the_front_door_log(self):
+        result = monitored_scenario(shards=2, epoch_s=0.05,
+                                    retain=False).run(duration_s=0.2)
+        door = result.collectors["monitor"]
+        assert len(door) == 0                   # no snapshot log retained
+        assert door.submitted >= 2 * len(result.stacks)
+        # The shard tier still has the complete, current view.
+        merged = result.merged_summary("monitor")
+        assert merged["counters"]["tpps"] == result.tpps_received
+
+
+class TestTruncationAccounting:
+    """Satellite: packet-memory overrun is visible at every layer."""
+
+    @pytest.mark.parametrize("compile_traces", [False, True])
+    def test_switch_shim_and_collector_agree(self, compile_traces):
+        # One hop of room, two-switch cross-side paths: the second switch
+        # must skip with SKIPPED_PACKET_FULL.
+        result = (Scenario("dumbbell", seed=5, hosts_per_side=2,
+                           link_rate_bps=mbps(10), compile_traces=compile_traces)
+                  .tpp("trunc", "PUSH [Switch:SwitchID]", num_hops=1,
+                       filter=PacketFilter(protocol="udp"))
+                  .collector(shards=2)
+                  .workload("messages", offered_load=0.3, message_bytes=2000)
+                  .run(duration_s=0.2))
+
+        # Switch layer: SKIPPED_PACKET_FULL hops were counted where they
+        # happened (any switch that was a second hop).
+        full_hops = {name: switch.tpps_packet_full
+                     for name, switch in result.network.switches.items()}
+        assert sum(full_hops.values()) > 0
+        assert sum(full_hops.values()) >= result.tpps_truncated
+
+        # Shim/aggregator layer: TPP.out_of_room rolled up per host.
+        assert result.tpps_truncated > 0
+        assert result.tpps_truncated == sum(
+            a.tpps_truncated for a in result.aggregators("trunc").values())
+
+        # Collector tier: per shard, and after the global merge.
+        plane = result.experiment.collect_plane
+        per_shard_total = 0
+        for shard in plane.shards:
+            view = shard.merged_view()
+            per_shard_total += sum(summary["tpps_truncated"]
+                                   for summary in view.values())
+        assert per_shard_total == result.tpps_truncated
+        merged = result.merged_summary("trunc")
+        assert merged["tpps_truncated"] == result.tpps_truncated
+
+
+class TestSingleShardDifferential:
+    """A shards=1 inline plane is byte-identical to the legacy Collector."""
+
+    @staticmethod
+    def _with_plane(scenario):
+        return scenario.collector(shards=1, transport="inline")
+
+    def test_microburst(self):
+        from repro.apps.microburst import microburst_scenario
+        kwargs = dict(link_rate_bps=mbps(10), offered_load=0.4, seed=3)
+        legacy = microburst_scenario(**kwargs).run(duration_s=0.25)
+        sharded = self._with_plane(microburst_scenario(**kwargs)).run(duration_s=0.25)
+        assert legacy == sharded                 # full dataclass equality
+
+    def test_netsight(self):
+        from repro.apps.netsight import netsight_scenario
+        kwargs = dict(link_rate_bps=mbps(10), seed=2)
+        legacy = netsight_scenario(**kwargs).run(duration_s=0.2)
+        sharded = self._with_plane(netsight_scenario(**kwargs)).run(duration_s=0.2)
+
+        def fingerprint(history):
+            # flow_id and matched_entry_id are allocated from process-global
+            # counters, so they shift between *any* two runs in one process;
+            # everything semantically tied to the run must match exactly.
+            return (history.src, history.dst, history.protocol, history.sport,
+                    history.dport, history.delivered_at,
+                    [(hop.switch_id, hop.input_port) for hop in history.hops])
+
+        assert [fingerprint(h) for h in legacy.store.histories] == \
+            [fingerprint(h) for h in sharded.store.histories]
+        assert legacy.packets_instrumented == sharded.packets_instrumented
+        assert legacy.histories_collected == sharded.histories_collected
+
+    def test_sketches(self):
+        from repro.apps.sketches import sketch_scenario
+        kwargs = dict(num_leaves=2, num_spines=1, hosts_per_leaf=2, seed=2)
+        legacy = sketch_scenario(**kwargs).run(duration_s=0.4)
+        sharded = self._with_plane(sketch_scenario(**kwargs)).run(duration_s=0.4)
+        assert legacy.estimates == sharded.estimates
+        assert legacy.host_memory_bytes == sharded.host_memory_bytes
+        assert legacy.packets_instrumented == sharded.packets_instrumented
+        # The user-supplied service saw the identical submissions.
+        assert len(legacy.service.summaries) == len(sharded.service.summaries)
+        assert legacy.service.submission_times == sharded.service.submission_times
+        assert {key: bytes(sketch.bitmap) for key, sketch in legacy.service.per_link.items()} \
+            == {key: bytes(sketch.bitmap) for key, sketch in sharded.service.per_link.items()}
+
+    def test_rcp(self):
+        from repro.apps.rcp import ALPHA_MAXMIN, rcp_scenario
+        kwargs = dict(alpha=ALPHA_MAXMIN, link_rate_bps=mbps(10))
+        legacy = rcp_scenario(**kwargs).run(duration_s=1.0)
+        sharded = self._with_plane(rcp_scenario(**kwargs)).run(duration_s=1.0)
+        assert legacy.mean_throughput_bps == sharded.mean_throughput_bps
+        assert legacy.control_overhead_fraction == sharded.control_overhead_fraction
+        for flow in legacy.throughput_series:
+            assert legacy.throughput_series[flow].values == \
+                sharded.throughput_series[flow].values
+
+    def test_conga(self):
+        from repro.apps.conga import conga_scenario
+        legacy = conga_scenario("conga", link_rate_bps=mbps(10)).run(duration_s=1.0)
+        sharded = self._with_plane(conga_scenario("conga", link_rate_bps=mbps(10))) \
+            .run(duration_s=1.0)
+        assert legacy == sharded                 # full dataclass equality
+
+    def test_netverify(self):
+        from repro.apps.netverify import verification_scenario
+        legacy = verification_scenario().run(duration_s=0.35)
+        sharded = self._with_plane(verification_scenario()).run(duration_s=0.35)
+        assert legacy.pre_failure.matches == sharded.pre_failure.matches
+        assert legacy.convergence.convergence_seconds == \
+            sharded.convergence.convergence_seconds
+        assert legacy.probes_sent == sharded.probes_sent
+        assert [o.time for o in legacy.observations] == \
+            [o.time for o in sharded.observations]

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Verify that relative markdown links in README.md and docs/ resolve.
+"""Verify that relative markdown links in the repo's documentation resolve.
 
 Checks every ``[text](target)`` link in the given markdown files (default:
-README.md and docs/*.md):
+README.md, ROADMAP.md, CHANGES.md, PAPER.md, and docs/*.md — PAPERS.md is
+excluded: its text is extracted from upstream sources and carries image
+references that were never part of this repo):
 
 * relative file targets must exist on disk (relative to the linking file);
 * ``path#anchor`` targets must point at an existing file AND a heading in
@@ -97,7 +99,9 @@ def main(argv: list[str]) -> int:
     if argv:
         files = [Path(arg) for arg in argv]
     else:
-        files = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+        files = [repo_root / name
+                 for name in ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md")]
+        files += sorted((repo_root / "docs").glob("*.md"))
     missing = [f for f in files if not f.exists()]
     if missing:
         for path in missing:
