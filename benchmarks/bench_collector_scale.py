@@ -8,7 +8,10 @@ benchmark locks both halves of that claim in:
   unsharded and at 1/2/4/8 shards (inline transport).  Every run must land
   on the *identical* simulator event total, and every sharded run's merged
   collector view must render to the identical canonical JSON.  A violation
-  is a hard assertion failure, not a number.
+  is a hard assertion failure, not a number.  The shard-count runs are
+  driven through :mod:`repro.sweep` (a ``collector.shards`` axis executed
+  by :class:`~repro.sweep.SweepRunner`), so this benchmark also exercises
+  the spec-serialization path end to end.
 * **Throughput** — a synthetic summary workload (hosts × keyed bundle parts
   × rounds) is pushed through a standalone
   :class:`~repro.collect.CollectPlane` at each shard count, measuring
@@ -38,6 +41,7 @@ from repro.collect import (CollectPlane, CounterSummary, HistogramSummary,
 from repro.endhost import PacketFilter
 from repro.net import mbps
 from repro.session import Scenario
+from repro.sweep import SweepRunner, SweepSpec
 
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 
@@ -56,18 +60,34 @@ def scenario(shards=None, seed: int = 11):
     return built
 
 
-def invariance_sweep(shard_counts, duration_s: float) -> dict:
-    """Run the seeded scenario at every shard count; assert invariance."""
+def invariance_sweep(shard_counts, duration_s: float,
+                     sweep_workers: int = 1) -> dict:
+    """Run the shard-count axis as a spec sweep; assert invariance.
+
+    The unsharded reference runs in-process; the sharded runs travel the
+    full sweep path (Scenario -> ScenarioSpec -> SweepRunner -> mergeable
+    ResultSummary), so shard-count invariance is asserted on exactly the
+    artifacts a parallel sweep would produce.
+    """
     legacy = scenario().run(duration_s=duration_s)
+    sweep = (SweepSpec(scenario(shards=shard_counts[0]))
+             .axis("collector.shards", shard_counts))
+    outcome = SweepRunner(workers=sweep_workers,
+                          duration_s=duration_s).run(sweep)
+    assert len(outcome.completed) == len(shard_counts), \
+        f"{len(shard_counts) - len(outcome.completed)} shard runs failed"
+
     rows = []
     reference_view = None
     merged = None
+    by_label = {o.label: o for o in outcome.completed}
     for shards in shard_counts:
-        result = scenario(shards=shards).run(duration_s=duration_s)
-        merged = result.merged_summary("monitor")
-        assert result.events_executed == legacy.events_executed, \
+        summary = by_label[f"collector.shards={shards}"].summary
+        merged = summary.app_summaries["monitor"]
+        counters = summary.counters
+        assert counters["events_executed"] == legacy.events_executed, \
             f"event totals diverged at {shards} shards: " \
-            f"{result.events_executed:,} vs {legacy.events_executed:,}"
+            f"{counters['events_executed']:,} vs {legacy.events_executed:,}"
         view = json.dumps(summary_jsonable(merged), sort_keys=True)
         if reference_view is None:
             reference_view = view
@@ -75,18 +95,19 @@ def invariance_sweep(shard_counts, duration_s: float) -> dict:
             f"merged collector view diverged at {shards} shards"
         rows.append({
             "shards": shards,
-            "events": result.events_executed,
-            "summaries_submitted": result.summaries_submitted,
-            "parts_delivered": result.summary_parts_delivered,
-            "parts_dropped": result.summary_parts_dropped,
-            "flushes": result.summary_flushes,
+            "events": counters["events_executed"],
+            "summaries_submitted": counters["summaries_submitted"],
+            "parts_delivered": counters["summary_parts_delivered"],
+            "parts_dropped": counters["summary_parts_dropped"],
+            "flushes": counters["summary_flushes"],
         })
-        print(f"  {shards} shard(s): {result.events_executed:,} events, "
-              f"{result.summary_parts_delivered} parts delivered, "
-              f"{result.summary_flushes} flushes — merged view identical")
+        print(f"  {shards} shard(s): {counters['events_executed']:,} events, "
+              f"{counters['summary_parts_delivered']} parts delivered, "
+              f"{counters['summary_flushes']} flushes — merged view identical")
     return {
         "duration_s": duration_s,
         "events": legacy.events_executed,
+        "sweep_workers": sweep_workers,
         "merged_samples": merged["counters"]["samples"],
         "runs": rows,
         "merged_view_identical": True,
@@ -166,6 +187,8 @@ def main() -> None:
                         help="keyed samples per synthetic summary")
     parser.add_argument("--rounds", type=int, default=40,
                         help="synthetic push rounds (cumulative snapshots)")
+    parser.add_argument("--sweep-workers", type=int, default=2,
+                        help="sweep worker processes for the invariance runs")
     parser.add_argument("--output", default="BENCH_collector_scale.json",
                         help="artifact path (default: BENCH_collector_scale.json)")
     args = parser.parse_args()
@@ -176,8 +199,10 @@ def main() -> None:
     rounds = 8 if args.quick else args.rounds
 
     print(f"invariance: dumbbell micro-burst scenario, {duration * 1e3:g} ms "
-          f"simulated, shard counts {args.shards}")
-    invariance = invariance_sweep(args.shards, duration)
+          f"simulated, shard counts {args.shards} "
+          f"(sweep-driven, {args.sweep_workers} worker(s))")
+    invariance = invariance_sweep(args.shards, duration,
+                                  sweep_workers=args.sweep_workers)
     print(f"throughput: {hosts} hosts x {keys} keys x {rounds} rounds, "
           f"shard counts {args.shards}")
     throughput = throughput_sweep(args.shards, hosts, keys, rounds)

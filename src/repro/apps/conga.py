@@ -28,6 +28,7 @@ demands with a maximum link utilisation of ~85 %.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional
 
 from repro.core.compiler import compile_tpp
@@ -192,6 +193,87 @@ class CongaExperimentResult:
 CORE_LINKS = [("L1", "S0"), ("L1", "S1"), ("S0", "L2"), ("S1", "L2"), ("L0", "S0")]
 
 
+def _wire_conga_traffic(experiment, scheme: str, subflow_rate: float,
+                        num_l0: int, num_l1: int, warmup_s: float) -> None:
+    """Setup hook: subflows, meters, the CONGA* controller, warm-up snapshot.
+
+    Module-level (bound via :func:`functools.partial`) so a CONGA scenario's
+    spec pickles across a sweep-worker boundary.
+    """
+    sim, network = experiment.sim, experiment.network
+    meters = {"L0:L2": ThroughputMeter(sim, window_s=0.25),
+              "L1:L2": ThroughputMeter(sim, window_s=0.25)}
+    receiver = network.hosts["hl2"]
+
+    flows_l0, flows_l1 = [], []
+    for i in range(num_l0):
+        dport = 40000 + i
+        receiver.listen(dport, meters["L0:L2"].on_packet)
+        flows_l0.append(RateLimitedFlow(sim, network.hosts["hl0"], "hl2",
+                                        rate_bps=subflow_rate, dport=dport,
+                                        vlan=i % 2, packet_payload_bytes=1000))
+    for i in range(num_l1):
+        dport = 41000 + i
+        receiver.listen(dport, meters["L1:L2"].on_packet)
+        # ECMP: deterministically split the subflows evenly across both paths
+        # (the paper's "ECMP splits the flow from L1 to L2 equally").
+        flows_l1.append(RateLimitedFlow(sim, network.hosts["hl1"], "hl2",
+                                        rate_bps=subflow_rate, dport=dport,
+                                        vlan=i % 2, packet_payload_bytes=1000))
+
+    if scheme == "conga":
+        controller = CongaController(experiment.stacks["hl1"], "hl2",
+                                     path_tags=[0, 1])
+        for flow in flows_l1:
+            controller.manage_flow(flow)
+        experiment.extras["controller"] = controller
+        experiment.on_stop(controller.stop)
+
+    # Snapshot fabric-link byte counters after warm-up to measure utilisation.
+    counters_at_warmup: dict[str, int] = {}
+
+    def _snapshot() -> None:
+        for a, b in CORE_LINKS:
+            ports = network.ports_towards(a, b)
+            counters_at_warmup[f"{a}->{b}"] = \
+                network.switches[a].ports[ports[0]].tx_bytes
+
+    sim.schedule(warmup_s, _snapshot)
+    experiment.extras["meters"] = meters
+    experiment.extras["flows"] = {"L0:L2": flows_l0, "L1:L2": flows_l1}
+    experiment.extras["counters_at_warmup"] = counters_at_warmup
+    for meter in meters.values():
+        experiment.on_stop(meter.stop)
+
+
+def _to_conga_result(result: ExperimentResult, scheme: str, demand_l0: float,
+                     demand_l1: float, link_rate_bps: float,
+                     warmup_s: float) -> CongaExperimentResult:
+    """Result mapper for :func:`conga_scenario` (module-level for pickling)."""
+    network = result.network
+    meters = result.extras["meters"]
+    counters_at_warmup = result.extras["counters_at_warmup"]
+    measurement_window = result.end_time_s - warmup_s
+    core_utilizations = {}
+    for a, b in CORE_LINKS:
+        ports = network.ports_towards(a, b)
+        tx_bytes = network.switches[a].ports[ports[0]].tx_bytes
+        delta = tx_bytes - counters_at_warmup.get(f"{a}->{b}", 0)
+        core_utilizations[f"{a}->{b}"] = \
+            (delta * 8.0 / measurement_window) / link_rate_bps
+
+    skip = int(warmup_s / 0.25)
+    achieved = {name: meter.mean_throughput_bps(skip_windows=skip)
+                for name, meter in meters.items()}
+    return CongaExperimentResult(
+        scheme=scheme,
+        demand_bps={"L0:L2": demand_l0, "L1:L2": demand_l1},
+        achieved_bps=achieved,
+        max_core_utilization=max(core_utilizations.values()),
+        core_utilizations=core_utilizations,
+    )
+
+
 def conga_scenario(scheme: str = "conga", link_rate_bps: float = mbps(10),
                    demand_l0_fraction: float = 0.5,
                    demand_l1_fraction: float = 1.2,
@@ -201,7 +283,9 @@ def conga_scenario(scheme: str = "conga", link_rate_bps: float = mbps(10),
 
     ``conga_scenario(scheme).run(duration_s=10.0)`` returns a
     :class:`CongaExperimentResult`.  Subflows, meters, the CONGA* controller
-    and the warm-up counter snapshot are wired in a setup hook.
+    and the warm-up counter snapshot are wired in a setup hook.  Hooks are
+    partials over module-level functions, so
+    ``conga_scenario(...).to_spec()`` is sweepable.
     """
     if scheme not in ("conga", "ecmp"):
         raise ValueError("scheme must be 'conga' or 'ecmp'")
@@ -212,81 +296,16 @@ def conga_scenario(scheme: str = "conga", link_rate_bps: float = mbps(10),
     num_l0 = max(1, int(round(demand_l0 / subflow_rate)))
     num_l1 = max(1, int(round(demand_l1 / subflow_rate)))
 
-    def wire_traffic(experiment) -> None:
-        sim, network = experiment.sim, experiment.network
-        meters = {"L0:L2": ThroughputMeter(sim, window_s=0.25),
-                  "L1:L2": ThroughputMeter(sim, window_s=0.25)}
-        receiver = network.hosts["hl2"]
-
-        flows_l0, flows_l1 = [], []
-        for i in range(num_l0):
-            dport = 40000 + i
-            receiver.listen(dport, meters["L0:L2"].on_packet)
-            flows_l0.append(RateLimitedFlow(sim, network.hosts["hl0"], "hl2",
-                                            rate_bps=subflow_rate, dport=dport,
-                                            vlan=i % 2, packet_payload_bytes=1000))
-        for i in range(num_l1):
-            dport = 41000 + i
-            receiver.listen(dport, meters["L1:L2"].on_packet)
-            # ECMP: deterministically split the subflows evenly across both paths
-            # (the paper's "ECMP splits the flow from L1 to L2 equally").
-            flows_l1.append(RateLimitedFlow(sim, network.hosts["hl1"], "hl2",
-                                            rate_bps=subflow_rate, dport=dport,
-                                            vlan=i % 2, packet_payload_bytes=1000))
-
-        if scheme == "conga":
-            controller = CongaController(experiment.stacks["hl1"], "hl2",
-                                         path_tags=[0, 1])
-            for flow in flows_l1:
-                controller.manage_flow(flow)
-            experiment.extras["controller"] = controller
-            experiment.on_stop(controller.stop)
-
-        # Snapshot fabric-link byte counters after warm-up to measure utilisation.
-        counters_at_warmup: dict[str, int] = {}
-
-        def _snapshot() -> None:
-            for a, b in CORE_LINKS:
-                ports = network.ports_towards(a, b)
-                counters_at_warmup[f"{a}->{b}"] = \
-                    network.switches[a].ports[ports[0]].tx_bytes
-
-        sim.schedule(warmup_s, _snapshot)
-        experiment.extras["meters"] = meters
-        experiment.extras["flows"] = {"L0:L2": flows_l0, "L1:L2": flows_l1}
-        experiment.extras["counters_at_warmup"] = counters_at_warmup
-        for meter in meters.values():
-            experiment.on_stop(meter.stop)
-
-    def to_result(result: ExperimentResult) -> CongaExperimentResult:
-        network = result.network
-        meters = result.extras["meters"]
-        counters_at_warmup = result.extras["counters_at_warmup"]
-        measurement_window = result.end_time_s - warmup_s
-        core_utilizations = {}
-        for a, b in CORE_LINKS:
-            ports = network.ports_towards(a, b)
-            tx_bytes = network.switches[a].ports[ports[0]].tx_bytes
-            delta = tx_bytes - counters_at_warmup.get(f"{a}->{b}", 0)
-            core_utilizations[f"{a}->{b}"] = \
-                (delta * 8.0 / measurement_window) / link_rate_bps
-
-        skip = int(warmup_s / 0.25)
-        achieved = {name: meter.mean_throughput_bps(skip_windows=skip)
-                    for name, meter in meters.items()}
-        return CongaExperimentResult(
-            scheme=scheme,
-            demand_bps={"L0:L2": demand_l0, "L1:L2": demand_l1},
-            achieved_bps=achieved,
-            max_core_utilization=max(core_utilizations.values()),
-            core_utilizations=core_utilizations,
-        )
-
     return (Scenario("conga", seed=seed, name=f"conga-{scheme}",
                      link_rate_bps=link_rate_bps, group_policy="vlan",
                      utilization_ewma_alpha=0.3)
-            .setup(wire_traffic)
-            .map_result(to_result))
+            .setup(partial(_wire_conga_traffic, scheme=scheme,
+                           subflow_rate=subflow_rate, num_l0=num_l0,
+                           num_l1=num_l1, warmup_s=warmup_s))
+            .map_result(partial(_to_conga_result, scheme=scheme,
+                                demand_l0=demand_l0, demand_l1=demand_l1,
+                                link_rate_bps=link_rate_bps,
+                                warmup_s=warmup_s)))
 
 
 def run_conga_experiment(scheme: str = "conga", duration_s: float = 10.0,

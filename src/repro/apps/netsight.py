@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterable, Optional
 
 from repro.collect import CounterSummary, SummaryBundle, TopKSummary
@@ -253,6 +254,38 @@ class NetSightExperimentResult:
     messages_sent: int
 
 
+def _netsight_aggregator_factory(host_name: str, collector: Optional[Collector],
+                                 netwatch: Optional[NetWatch]) -> NetSightAggregator:
+    """Per-host aggregator factory (module-level for pickling)."""
+    return NetSightAggregator(host_name, collector, netwatch=netwatch)
+
+
+def _to_netsight_result(result: "ExperimentResult",
+                        num_hops: int) -> NetSightExperimentResult:
+    """Result mapper for :func:`netsight_scenario` (module-level for pickling).
+
+    The netwatch is read back out of the live aggregators (they all share
+    one instance) rather than closed over, so the mapper sees the copy the
+    experiment actually ran with when the scenario crossed a process
+    boundary as a spec.
+    """
+    store = HistoryStore()
+    netwatch: Optional[NetWatch] = None
+    for aggregator in result.aggregators("netsight").values():
+        store.extend(aggregator.store.histories)
+        if aggregator.netwatch is not None:
+            netwatch = aggregator.netwatch
+    store.histories.sort(key=lambda history: history.delivered_at)
+    workload = result.workloads["messages"]
+    return NetSightExperimentResult(
+        store=store,
+        violations=list(netwatch.violations) if netwatch else [],
+        packets_instrumented=result.tpps_attached,
+        histories_collected=len(store),
+        tpp_overhead_bytes_per_packet=history_overhead_bytes(num_hops),
+        messages_sent=len(workload.messages_sent))
+
+
 def netsight_scenario(hosts_per_side: int = 3, link_rate_bps: float = mbps(10),
                       offered_load: float = 0.3, message_bytes: int = 10_000,
                       sample_frequency: int = 1, num_hops: int = 10,
@@ -265,36 +298,22 @@ def netsight_scenario(hosts_per_side: int = 3, link_rate_bps: float = mbps(10),
     dumbbell; ``.run(duration_s=...)`` returns a
     :class:`NetSightExperimentResult` whose merged :class:`HistoryStore`
     answers netshark/ndb queries and whose ``violations`` come from the
-    supplied :class:`NetWatch` (if any).
+    supplied :class:`NetWatch` (if any).  With the default ``netwatch=None``
+    every hook is picklable, so ``netsight_scenario(...).to_spec()`` is
+    sweepable (a NetWatch carrying policy closures is not picklable and is
+    rejected eagerly by ``to_spec``).
     """
-    shared_netwatch = netwatch
-
-    def factory(host_name: str, collector: Optional[Collector]) -> NetSightAggregator:
-        return NetSightAggregator(host_name, collector, netwatch=shared_netwatch)
-
-    def to_result(result: "ExperimentResult") -> NetSightExperimentResult:
-        store = HistoryStore()
-        for aggregator in result.aggregators("netsight").values():
-            store.extend(aggregator.store.histories)
-        store.histories.sort(key=lambda history: history.delivered_at)
-        workload = result.workloads["messages"]
-        return NetSightExperimentResult(
-            store=store,
-            violations=list(shared_netwatch.violations) if shared_netwatch else [],
-            packets_instrumented=result.tpps_attached,
-            histories_collected=len(store),
-            tpp_overhead_bytes_per_packet=history_overhead_bytes(num_hops),
-            messages_sent=len(workload.messages_sent))
-
     return (Scenario("dumbbell", seed=seed, name="netsight",
                      hosts_per_side=hosts_per_side, link_rate_bps=link_rate_bps)
             .tpp("netsight", PACKET_HISTORY_TPP_SOURCE, num_hops=num_hops,
                  filter=packet_filter if packet_filter is not None else PacketFilter(),
-                 sample_frequency=sample_frequency, aggregator=factory)
+                 sample_frequency=sample_frequency,
+                 aggregator=partial(_netsight_aggregator_factory,
+                                    netwatch=netwatch))
             .workload("messages", link_rate_bps=link_rate_bps,
                       offered_load=offered_load, message_bytes=message_bytes,
                       seed=seed)
-            .map_result(to_result))
+            .map_result(partial(_to_netsight_result, num_hops=num_hops)))
 
 
 def run_netsight_experiment(duration_s: float = 0.5, hosts_per_side: int = 3,

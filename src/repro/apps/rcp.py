@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional
 
 from repro.core import addressing
@@ -255,6 +256,52 @@ FLOW_SPECS = {
 }
 
 
+def _wire_rcp_flows(experiment, params: RcpParameters, alpha: float,
+                    packet_payload_bytes: int) -> None:
+    """Setup hook: wire the Figure 2 flows, meters, and controllers.
+
+    Module-level (bound via :func:`functools.partial`) so an RCP scenario's
+    spec pickles across a sweep-worker boundary.
+    """
+    meters: dict[str, ThroughputMeter] = {}
+    controllers: dict[str, RcpFlowController] = {}
+    for name, (src, dst) in FLOW_SPECS.items():
+        flow = RateLimitedFlow(experiment.sim, experiment.host(src), dst,
+                               rate_bps=params.initial_flow_rate_bps,
+                               packet_payload_bytes=packet_payload_bytes,
+                               dport=21000 + ord(name))
+        meter = ThroughputMeter(experiment.sim, window_s=0.25)
+        experiment.host(dst).listen(21000 + ord(name), meter.on_packet)
+        meters[name] = meter
+        controllers[name] = RcpFlowController(experiment.stacks[src], flow, dst,
+                                              params, alpha=alpha)
+        experiment.on_stop(meter.stop)
+        experiment.on_stop(controllers[name].stop)
+    experiment.extras["meters"] = meters
+    experiment.extras["controllers"] = controllers
+
+
+def _to_rcp_result(result: ExperimentResult, alpha: float,
+                   link_rate_bps: float,
+                   warmup_fraction: float) -> RcpExperimentResult:
+    """Result mapper for :func:`rcp_scenario` (module-level for pickling)."""
+    meters: dict[str, ThroughputMeter] = result.extras["meters"]
+    rcp_result = RcpExperimentResult(alpha=alpha, link_rate_bps=link_rate_bps)
+    data_bytes = 0
+    control_bytes = result.instrumentation_overhead_bytes
+    skip = int(len(next(iter(meters.values())).windows) * warmup_fraction)
+    for name, meter in meters.items():
+        series = TimeSeries()
+        for t, bps in meter.windows:
+            series.add(t, bps)
+        rcp_result.throughput_series[name] = series
+        rcp_result.mean_throughput_bps[name] = meter.mean_throughput_bps(skip_windows=skip)
+        data_bytes += meter.total_bytes
+    rcp_result.control_overhead_fraction = \
+        control_bytes / data_bytes if data_bytes else 0.0
+    return rcp_result
+
+
 def rcp_scenario(alpha: float = ALPHA_MAXMIN, link_rate_bps: float = mbps(10),
                  params: Optional[RcpParameters] = None,
                  packet_payload_bytes: int = 1000,
@@ -265,51 +312,20 @@ def rcp_scenario(alpha: float = ALPHA_MAXMIN, link_rate_bps: float = mbps(10),
     ``rcp_scenario(alpha=...).run(duration_s=15.0)`` returns an
     :class:`RcpExperimentResult`.  Flows, meters and per-flow controllers
     are wired in a setup hook (they need live hosts), and the result is
-    assembled by the mapper.
+    assembled by the mapper.  Hooks are partials over module-level
+    functions, so ``rcp_scenario(...).to_spec()`` is sweepable.
     """
     if params is None:
         params = RcpParameters()
 
-    def wire_flows(experiment) -> None:
-        meters: dict[str, ThroughputMeter] = {}
-        controllers: dict[str, RcpFlowController] = {}
-        for name, (src, dst) in FLOW_SPECS.items():
-            flow = RateLimitedFlow(experiment.sim, experiment.host(src), dst,
-                                   rate_bps=params.initial_flow_rate_bps,
-                                   packet_payload_bytes=packet_payload_bytes,
-                                   dport=21000 + ord(name))
-            meter = ThroughputMeter(experiment.sim, window_s=0.25)
-            experiment.host(dst).listen(21000 + ord(name), meter.on_packet)
-            meters[name] = meter
-            controllers[name] = RcpFlowController(experiment.stacks[src], flow, dst,
-                                                  params, alpha=alpha)
-            experiment.on_stop(meter.stop)
-            experiment.on_stop(controllers[name].stop)
-        experiment.extras["meters"] = meters
-        experiment.extras["controllers"] = controllers
-
-    def to_result(result: ExperimentResult) -> RcpExperimentResult:
-        meters: dict[str, ThroughputMeter] = result.extras["meters"]
-        rcp_result = RcpExperimentResult(alpha=alpha, link_rate_bps=link_rate_bps)
-        data_bytes = 0
-        control_bytes = result.instrumentation_overhead_bytes
-        skip = int(len(next(iter(meters.values())).windows) * warmup_fraction)
-        for name, meter in meters.items():
-            series = TimeSeries()
-            for t, bps in meter.windows:
-                series.add(t, bps)
-            rcp_result.throughput_series[name] = series
-            rcp_result.mean_throughput_bps[name] = meter.mean_throughput_bps(skip_windows=skip)
-            data_bytes += meter.total_bytes
-        rcp_result.control_overhead_fraction = \
-            control_bytes / data_bytes if data_bytes else 0.0
-        return rcp_result
-
     return (Scenario("rcp-chain", seed=seed, name="rcp-fairness",
                      link_rate_bps=link_rate_bps,
                      utilization_ewma_alpha=utilization_ewma_alpha)
-            .setup(wire_flows)
-            .map_result(to_result))
+            .setup(partial(_wire_rcp_flows, params=params, alpha=alpha,
+                           packet_payload_bytes=packet_payload_bytes))
+            .map_result(partial(_to_rcp_result, alpha=alpha,
+                                link_rate_bps=link_rate_bps,
+                                warmup_fraction=warmup_fraction)))
 
 
 def run_rcp_fairness_experiment(alpha: float = ALPHA_MAXMIN,

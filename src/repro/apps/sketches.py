@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterable, Optional
 
 from repro.collect import SummaryBundle
@@ -193,6 +194,41 @@ class SketchExperimentResult:
         return self.estimates.get(key, 0.0)
 
 
+def _sketch_aggregator_factory(host_name: str, collector: Optional[Collector],
+                               bits: int, key_field: str) -> SketchAggregator:
+    """Per-host aggregator factory (module-level for pickling)."""
+    return SketchAggregator(host_name, collector, bits=bits, key_field=key_field)
+
+
+def _push_sketch_summaries(experiment) -> None:
+    """Finalize hook: flush every host's bitmaps to the monitoring service."""
+    experiment.apps["opensketch-distinct-count"].push_all_summaries(
+        experiment.sim.now)
+
+
+def _to_sketch_result(result: "ExperimentResult",
+                      num_hops: int) -> SketchExperimentResult:
+    """Result mapper for :func:`sketch_scenario` (module-level for pickling).
+
+    Reads the monitoring service back out of ``result.collectors`` rather
+    than closing over it: when the scenario crosses a process boundary as a
+    spec, the live service is the (deep-copied) one the experiment actually
+    ran with.  Under a collect plane the registered collector is a virtual
+    front door whose ``downstream`` is the user service — unwrap it.
+    """
+    service = result.collectors["opensketch-distinct-count"]
+    while getattr(service, "downstream", None) is not None:
+        service = service.downstream
+    aggregators = result.aggregators("opensketch-distinct-count")
+    return SketchExperimentResult(
+        service=service,
+        estimates=service.estimates(),
+        packets_instrumented=result.tpps_attached,
+        host_memory_bytes={host: aggregator.memory_bytes()
+                           for host, aggregator in aggregators.items()},
+        tpp_overhead_bytes_per_packet=sketch_tpp(num_hops).tpp.wire_length())
+
+
 def sketch_scenario(num_leaves: int = 4, num_spines: int = 2, hosts_per_leaf: int = 4,
                     link_rate_bps: float = mbps(50), bits: int = 1024,
                     key_field: str = "src", sample_frequency: int = 1,
@@ -202,37 +238,22 @@ def sketch_scenario(num_leaves: int = 4, num_spines: int = 2, hosts_per_leaf: in
     All-to-all single packets over a leaf-spine fabric; every host sketches
     the (switch, port) pairs its packets traversed, and the link-monitoring
     service ORs the per-host bitmaps.  ``.run(run_until_idle=True)`` returns
-    a :class:`SketchExperimentResult`.
+    a :class:`SketchExperimentResult`.  Every hook is a module-level
+    function (or a partial over one), so ``sketch_scenario(...).to_spec()``
+    is sweepable.
     """
-    service = LinkMonitoringService(bits=bits)
-
-    def factory(host_name: str, collector: Optional[Collector]) -> SketchAggregator:
-        return SketchAggregator(host_name, collector, bits=bits, key_field=key_field)
-
-    def push_summaries(experiment) -> None:
-        experiment.apps["opensketch-distinct-count"].push_all_summaries(
-            experiment.sim.now)
-
-    def to_result(result: "ExperimentResult") -> SketchExperimentResult:
-        aggregators = result.aggregators("opensketch-distinct-count")
-        return SketchExperimentResult(
-            service=service,
-            estimates=service.estimates(),
-            packets_instrumented=result.tpps_attached,
-            host_memory_bytes={host: aggregator.memory_bytes()
-                               for host, aggregator in aggregators.items()},
-            tpp_overhead_bytes_per_packet=sketch_tpp(num_hops).tpp.wire_length())
-
     return (Scenario("leaf-spine", seed=seed, name="sketches",
                      num_leaves=num_leaves, num_spines=num_spines,
                      hosts_per_leaf=hosts_per_leaf, link_rate_bps=link_rate_bps)
             .tpp("opensketch-distinct-count", SKETCH_TPP_SOURCE, num_hops=num_hops,
                  filter=PacketFilter(protocol="udp"),
                  sample_frequency=sample_frequency,
-                 aggregator=factory, collector=service)
+                 aggregator=partial(_sketch_aggregator_factory, bits=bits,
+                                    key_field=key_field),
+                 collector=LinkMonitoringService(bits=bits))
             .workload("all-to-all-once", payload_bytes=300, dport=9999)
-            .finalize(push_summaries)
-            .map_result(to_result))
+            .finalize(_push_sketch_summaries)
+            .map_result(partial(_to_sketch_result, num_hops=num_hops)))
 
 
 def run_sketch_experiment(duration_s: float = 1.0, num_leaves: int = 4,

@@ -22,10 +22,14 @@ from .registry import (DuplicateRegistration, Registry, TOPOLOGIES,
                        UnknownRegistration, WORKLOADS, register_topology,
                        register_workload)
 from .scenario import Scenario, TppSpec, WorkloadSpec
+from .spec import (ResultSummary, ScenarioSpec, SpecError, spec_fingerprint,
+                   spec_jsonable)
 from . import workloads as _builtin_workloads  # noqa: F401  (registration side effect)
 
 __all__ = [
     "DuplicateRegistration", "Experiment", "ExperimentResult", "Registry",
-    "Scenario", "TOPOLOGIES", "TppSpec", "UnknownRegistration", "WORKLOADS",
-    "WorkloadSpec", "register_topology", "register_workload",
+    "ResultSummary", "Scenario", "ScenarioSpec", "SpecError", "TOPOLOGIES",
+    "TppSpec", "UnknownRegistration", "WORKLOADS", "WorkloadSpec",
+    "register_topology", "register_workload", "spec_fingerprint",
+    "spec_jsonable",
 ]

@@ -68,6 +68,7 @@ from repro.endhost import Aggregator, Collector, PacketFilter
 
 from .experiment import Experiment, ExperimentResult
 from .registry import TOPOLOGIES, WORKLOADS
+from .spec import ScenarioSpec
 
 #: Signature of hooks: they receive the live Experiment.
 Hook = Callable[[Experiment], None]
@@ -363,6 +364,26 @@ class Scenario:
     def copy(self) -> "Scenario":
         """An independent deep copy (tweak a base scenario per variant)."""
         return copy.deepcopy(self)
+
+    # ----------------------------------------------------------- serialization
+    def to_spec(self) -> "ScenarioSpec":
+        """Extract a picklable :class:`~repro.session.spec.ScenarioSpec`.
+
+        The spec crosses process boundaries (the sweep layer fans specs
+        across a pool) and rebuilds a byte-identical scenario via
+        :meth:`ScenarioSpec.to_scenario`.  Every callable the scenario
+        holds — hooks, collect callbacks, aggregator factories, workload
+        factories — must be a module-level callable or a
+        ``functools.partial`` of one; lambdas and closures raise
+        :class:`~repro.session.spec.SpecError` here, eagerly, with the
+        offending piece named.
+        """
+        return ScenarioSpec.from_scenario(self)
+
+    @classmethod
+    def from_spec(cls, spec: "ScenarioSpec") -> "Scenario":
+        """Rebuild a scenario from a spec (``spec.to_scenario()`` mirror)."""
+        return spec.to_scenario()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Scenario {self.name!r} topology={self.topology_name!r} "

@@ -1,0 +1,390 @@
+"""Serializable scenario specs and result summaries — the process-boundary
+faces of the session layer.
+
+The fluent :class:`~repro.session.Scenario` builder is a *live* object: it
+may hold hook callables, aggregator factories, and collector objects.  To
+fan experiments across a process pool (:mod:`repro.sweep`), a scenario must
+cross a pickle boundary and rebuild **byte-identically** on the other side.
+This module provides that contract:
+
+* :class:`ScenarioSpec` — a picklable, declarative snapshot of a scenario
+  (topology name + kwargs, engine toggles, collector knobs, TPP and
+  workload descriptors, hooks, seed).  :meth:`Scenario.to_spec` extracts
+  one, validating every piece; :meth:`ScenarioSpec.to_scenario` rebuilds a
+  scenario that produces the identical event sequence.
+* :class:`ResultSummary` — a slim, picklable view of an
+  :class:`~repro.session.ExperimentResult`: the scalar accounting plus each
+  app's *mergeable* summary, so worker processes ship monoid elements home
+  instead of live simulator objects.
+* :func:`spec_fingerprint` — a stable content hash (blake2b over a
+  canonical JSON rendering) used by the sweep manifest to recognise
+  completed specs across runs and across processes.
+
+Serializability rules
+---------------------
+
+Everything in a spec must survive ``pickle`` **by reference or by value**:
+
+* topology/workload names resolve through the registries, so they travel
+  as strings;
+* callables (workload factories, aggregator factories, hooks, callbacks)
+  must be module-level functions/classes — or :func:`functools.partial`
+  applications of one over picklable arguments.  Lambdas and closures are
+  rejected eagerly by :meth:`Scenario.to_spec` with a :class:`SpecError`
+  naming the offending piece, *before* a worker ever chokes on them;
+* TPP programs travel as assembly source text (preferred), or as
+  ``CompiledTPP``/``TPP`` objects when those pickle cleanly;
+* collector objects (e.g. a ``LinkMonitoringService``) travel by value —
+  a fresh, unused collector pickles to an equivalent fresh collector.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.collect import summary_copy, summary_jsonable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.collect import SummaryBundle
+    from .experiment import ExperimentResult
+    from .scenario import Scenario
+
+__all__ = [
+    "ResultSummary", "ScenarioSpec", "SpecError", "callable_ref",
+    "ensure_picklable", "spec_fingerprint", "spec_jsonable",
+]
+
+
+class SpecError(TypeError):
+    """A scenario piece cannot cross a process boundary (and why)."""
+
+
+# --------------------------------------------------------------------------
+# Validation
+# --------------------------------------------------------------------------
+def _describe_callable(fn: Any) -> str:
+    module = getattr(fn, "__module__", None) or "?"
+    qualname = getattr(fn, "__qualname__", None) \
+        or getattr(fn, "__name__", None) or repr(fn)
+    return f"{module}:{qualname}"
+
+
+def callable_ref(fn: Any) -> Any:
+    """A canonical, process-stable rendering of a spec callable.
+
+    Module-level callables render as ``"module:qualname"``; ``partial``
+    applications render structurally.  Raises :class:`SpecError` for
+    lambdas and closures — the two shapes pickle cannot ship by reference.
+    """
+    if isinstance(fn, functools.partial):
+        return {"partial": callable_ref(fn.func),
+                "args": [spec_jsonable(arg) for arg in fn.args],
+                "kwargs": {key: spec_jsonable(value)
+                           for key, value in sorted(fn.keywords.items())}}
+    qualname = getattr(fn, "__qualname__", "")
+    if "<lambda>" in qualname:
+        raise SpecError(
+            f"lambda {_describe_callable(fn)} cannot cross a process "
+            f"boundary; use a module-level function (or functools.partial "
+            f"of one)")
+    if "<locals>" in qualname:
+        raise SpecError(
+            f"closure {_describe_callable(fn)} is defined inside a function "
+            f"and cannot cross a process boundary; hoist it to module level "
+            f"and bind its parameters with functools.partial")
+    return _describe_callable(fn)
+
+
+def ensure_picklable(value: Any, where: str) -> None:
+    """Raise :class:`SpecError` (with the spec path) when pickling fails."""
+    if callable(value) and not isinstance(value, type):
+        try:
+            callable_ref(value)
+        except SpecError as exc:
+            raise SpecError(f"{where}: {exc}") from None
+    try:
+        pickle.loads(pickle.dumps(value))
+    except Exception as exc:
+        raise SpecError(
+            f"{where}: {type(value).__name__} does not survive pickling "
+            f"({exc}); specs may only carry picklable values") from None
+
+
+# --------------------------------------------------------------------------
+# Canonical rendering / fingerprint
+# --------------------------------------------------------------------------
+def spec_jsonable(value: Any) -> Any:
+    """Render any spec value as deterministic, JSON-able structure.
+
+    Used for fingerprints and the sweep manifest, so the rendering must be
+    stable across processes and runs: dict keys are sorted, callables render
+    as import references, dataclasses field-wise, and anything else falls
+    back to a hash of its pickled bytes (never ``repr`` — reprs can leak
+    memory addresses).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [spec_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): spec_jsonable(value[key])
+                for key in sorted(value, key=str)}
+    if isinstance(value, functools.partial) or callable(value):
+        return callable_ref(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        rendered = {f.name: spec_jsonable(getattr(value, f.name))
+                    for f in fields(value)}
+        rendered["__type__"] = type(value).__name__
+        return rendered
+    renderer = getattr(value, "as_dict", None)
+    if callable(renderer):
+        return renderer()
+    encoder = getattr(value, "encode", None)
+    if callable(encoder):                        # TPP / CompiledTPP wire bytes
+        try:
+            encoded = encoder()
+            if isinstance(encoded, (bytes, bytearray)):
+                return {"__type__": type(value).__name__,
+                        "wire_blake2b": hashlib.blake2b(
+                            bytes(encoded), digest_size=16).hexdigest()}
+        except TypeError:
+            pass
+    digest = hashlib.blake2b(pickle.dumps(value), digest_size=16).hexdigest()
+    return {"__type__": type(value).__name__, "pickle_blake2b": digest}
+
+
+def spec_fingerprint(spec: "ScenarioSpec") -> str:
+    """A stable content hash of a spec's canonical rendering."""
+    canonical = json.dumps(spec_jsonable(spec), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# The spec itself
+# --------------------------------------------------------------------------
+@dataclass
+class ScenarioSpec:
+    """A picklable snapshot of everything a :class:`Scenario` declares.
+
+    Construct via :meth:`Scenario.to_spec` (which validates) rather than by
+    hand; rebuild with :meth:`to_scenario`.  Equal specs with equal seeds
+    rebuild scenarios that produce byte-identical runs — the determinism
+    contract the sweep layer's differential tests pin down.
+    """
+
+    topology: str
+    seed: int = 1
+    name: Optional[str] = None
+    topology_kwargs: dict[str, Any] = field(default_factory=dict)
+    stacks: bool = True
+    hosts: Optional[list[str]] = None
+    seed_ecmp: bool = False
+    compile_traces: bool = False
+    collector: Optional[Any] = None               # CollectorSpec
+    tpps: list[Any] = field(default_factory=list)         # TppSpec
+    workloads: list[Any] = field(default_factory=list)    # WorkloadSpec
+    setup_hooks: list[Any] = field(default_factory=list)
+    finalize_hooks: list[Any] = field(default_factory=list)
+    result_mapper: Optional[Any] = None
+
+    @classmethod
+    def from_scenario(cls, scenario: "Scenario") -> "ScenarioSpec":
+        """Extract and validate a spec (see :meth:`Scenario.to_spec`)."""
+        spec = cls(
+            topology=scenario.topology_name,
+            seed=scenario.seed,
+            name=scenario.name,
+            topology_kwargs=copy.deepcopy(scenario.topology_kwargs),
+            stacks=scenario.install_stacks,
+            hosts=list(scenario.host_subset)
+            if scenario.host_subset is not None else None,
+            seed_ecmp=scenario.seed_ecmp,
+            compile_traces=scenario.compile_traces,
+            collector=copy.deepcopy(scenario.collector_spec),
+            tpps=copy.deepcopy(scenario.tpp_specs),
+            workloads=copy.deepcopy(scenario.workload_specs),
+            setup_hooks=list(scenario.setup_hooks),
+            finalize_hooks=list(scenario.finalize_hooks),
+            result_mapper=scenario._result_mapper,
+        )
+        spec.validate()
+        # Sanity: the rendering the fingerprint hashes must serialise.
+        json.dumps(spec_jsonable(spec), sort_keys=True)
+        return spec
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> "ScenarioSpec":
+        """Check every piece crosses a process boundary; raise SpecError."""
+        ensure_picklable(self.topology_kwargs, f"topology {self.topology!r} kwargs")
+        if self.collector is not None:
+            ensure_picklable(self.collector, "collector spec")
+        for tpp in self.tpps:
+            where = f"tpp {tpp.name!r}"
+            ensure_picklable(tpp.program, f"{where} program")
+            ensure_picklable(tpp.packet_filter, f"{where} filter")
+            if tpp.aggregator is not None:
+                ensure_picklable(tpp.aggregator, f"{where} aggregator factory")
+            ensure_picklable(tpp.collector, f"{where} collector")
+            for index, callback in enumerate(tpp.callbacks):
+                ensure_picklable(callback, f"{where} collect callback #{index}")
+        for workload in self.workloads:
+            where = f"workload {workload.name!r}"
+            ensure_picklable(workload.workload, f"{where} factory")
+            ensure_picklable(workload.kwargs, f"{where} kwargs")
+        for index, hook in enumerate(self.setup_hooks):
+            ensure_picklable(hook, f"setup hook #{index}")
+        for index, hook in enumerate(self.finalize_hooks):
+            ensure_picklable(hook, f"finalize hook #{index}")
+        if self.result_mapper is not None:
+            ensure_picklable(self.result_mapper, "result mapper")
+        return self
+
+    # ------------------------------------------------------------------ build
+    def to_scenario(self) -> "Scenario":
+        """Rebuild the fluent scenario this spec was extracted from."""
+        from .scenario import Scenario
+
+        scenario = Scenario(self.topology, seed=self.seed, name=self.name,
+                            stacks=self.stacks, hosts=self.hosts,
+                            seed_ecmp=self.seed_ecmp,
+                            compile_traces=self.compile_traces,
+                            **copy.deepcopy(self.topology_kwargs))
+        scenario.collector_spec = copy.deepcopy(self.collector)
+        scenario.tpp_specs = copy.deepcopy(self.tpps)
+        scenario.workload_specs = copy.deepcopy(self.workloads)
+        scenario.setup_hooks = list(self.setup_hooks)
+        scenario.finalize_hooks = list(self.finalize_hooks)
+        scenario._result_mapper = self.result_mapper
+        return scenario
+
+    def run(self, duration_s: Optional[float] = 1.0, *,
+            run_until_idle: bool = False):
+        """Rebuild and run (a convenience mirroring :meth:`Scenario.run`)."""
+        return self.to_scenario().run(duration_s, run_until_idle=run_until_idle)
+
+    def fingerprint(self) -> str:
+        return spec_fingerprint(self)
+
+    def with_overrides(self, **replacements: Any) -> "ScenarioSpec":
+        """An independent copy with top-level fields replaced."""
+        clone = copy.deepcopy(self)
+        for key, value in replacements.items():
+            if not hasattr(clone, key):
+                raise SpecError(f"ScenarioSpec has no field {key!r}")
+            setattr(clone, key, value)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ScenarioSpec {self.name!r} topology={self.topology!r} "
+                f"seed={self.seed} tpps={[t.name for t in self.tpps]} "
+                f"workloads={[w.name for w in self.workloads]}>")
+
+
+# --------------------------------------------------------------------------
+# The result view that crosses back
+# --------------------------------------------------------------------------
+#: ExperimentResult's integer accounting fields, in canonical order.  These
+#: become the ``counters`` part of :meth:`ResultSummary.bundle`, so a sweep's
+#: merged view sums them across experiments.
+RESULT_COUNTER_FIELDS = (
+    "events_executed", "tpps_attached", "tpp_bytes_added", "tpps_completed",
+    "tpps_echoed", "instrumentation_overhead_bytes", "tpps_received",
+    "tpps_truncated", "traces_compiled", "trace_executions",
+    "trace_fallbacks", "collect_shards", "summaries_submitted",
+    "summary_parts_delivered", "summary_parts_dropped", "summary_flushes",
+)
+
+
+@dataclass
+class ResultSummary:
+    """The picklable slice of an :class:`ExperimentResult`.
+
+    Carries the scalar accounting plus each app's *mergeable* summary (the
+    collector tier's merged view when the scenario ran with
+    ``.collector(...)``, else the fold of per-host ``summarize()``
+    snapshots in sorted host order).  Live simulator handles never cross;
+    workers ship monoid elements, the parent merges them.
+    """
+
+    scenario: str
+    topology: str
+    seed: int
+    duration_s: Optional[float]
+    end_time_s: float
+    counters: dict[str, int]
+    app_summaries: dict[str, Any] = field(default_factory=dict)
+    experiments: int = 1
+
+    @classmethod
+    def from_result(cls, result: "ExperimentResult") -> "ResultSummary":
+        counters = {name: int(getattr(result, name))
+                    for name in RESULT_COUNTER_FIELDS}
+        app_summaries: dict[str, Any] = {}
+        plane = result.experiment.collect_plane \
+            if result.experiment is not None else None
+        for app in sorted(result.apps):
+            if plane is not None:
+                app_summaries[app] = result.merged_summary(app)
+                continue
+            merged = None
+            aggregators = result.aggregators(app)
+            for host in sorted(aggregators):
+                snapshot = aggregators[host].summarize()
+                if not hasattr(snapshot, "merge"):
+                    merged = None
+                    break
+                if merged is None:
+                    merged = summary_copy(snapshot)
+                else:
+                    merged.merge(snapshot)
+            if merged is not None:
+                app_summaries[app] = merged
+        return cls(scenario=result.scenario, topology=result.topology,
+                   seed=result.seed, duration_s=result.duration_s,
+                   end_time_s=result.end_time_s, counters=counters,
+                   app_summaries=app_summaries)
+
+    # ------------------------------------------------------------ monoid face
+    def bundle(self) -> "SummaryBundle":
+        """This experiment as one mergeable bundle (counters + app parts).
+
+        Folding the bundles of every experiment in a sweep (in any order,
+        from any worker partition) produces the sweep's invariant merged
+        view: integer counters sum, app summaries merge monoidally.
+        """
+        from repro.collect import CounterSummary, SummaryBundle
+
+        parts: dict[Any, Any] = {
+            "experiment-counters": CounterSummary(
+                dict(self.counters, experiments=self.experiments)),
+        }
+        for app, summary in self.app_summaries.items():
+            parts[f"app:{app}"] = summary_copy(summary)
+        return SummaryBundle(parts)
+
+    def as_jsonable(self) -> dict:
+        """Canonical JSON-able rendering (stable ordering throughout)."""
+        return {
+            "scenario": self.scenario,
+            "topology": self.topology,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "end_time_s": self.end_time_s,
+            "experiments": self.experiments,
+            "counters": {name: self.counters[name]
+                         for name in sorted(self.counters)},
+            "apps": {app: summary_jsonable(self.app_summaries[app])
+                     for app in sorted(self.app_summaries)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ResultSummary {self.scenario!r} seed={self.seed} "
+                f"events={self.counters.get('events_executed')} "
+                f"apps={sorted(self.app_summaries)}>")

@@ -1,0 +1,526 @@
+"""The sweep executor: specs across a process pool, results folded home.
+
+:class:`SweepRunner` drives a list of :class:`~repro.sweep.plan.SweepTask`s
+(or a whole :class:`~repro.sweep.plan.SweepSpec`) to completion:
+
+* **serial** (``workers <= 1``): every spec rebuilds and runs in-process,
+  in task order — the reference execution the differential tests compare
+  the pool against;
+* **parallel** (``workers >= 2``): specs are pickled across a
+  ``ProcessPoolExecutor`` with a sliding submission window, per-task
+  timeouts, worker-crash detection with bounded retries, and incremental
+  result streaming (the optional ``on_outcome`` callback fires the moment
+  each task settles, in completion order).
+
+Because scenarios are deterministic and self-contained, and because
+:class:`~repro.session.ResultSummary` values are commutative-monoid
+bundles, the *merged* view of a sweep is invariant in worker count and
+completion order: :meth:`SweepResult.canonical_artifact` renders
+byte-identically whether the sweep ran serially, on 2 workers, or on 8 —
+the sweep-layer analogue of the collect plane's shard-count invariance.
+
+Resumability: give the runner a ``manifest_dir`` and every completed spec
+is recorded (by content fingerprint) in ``manifest.json`` as it finishes;
+a rerun loads the manifest, skips completed fingerprints, and still folds
+their stored summaries into the full merged artifact.  The canonical
+artifact of a resumed sweep is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import multiprocessing
+
+from repro.session import ResultSummary, ScenarioSpec
+from repro.collect import SummaryBundle, summary_jsonable
+
+from .plan import SweepSpec, SweepTask
+
+__all__ = ["SweepResult", "SweepRunner", "TaskOutcome"]
+
+#: Terminal task states.
+DONE, FAILED, TIMEOUT = "done", "failed", "timeout"
+
+
+def _execute_task(spec: ScenarioSpec, duration_s: Optional[float],
+                  run_until_idle: bool) -> ResultSummary:
+    """Worker entry point: rebuild the scenario, run it, summarise.
+
+    Module-level so the pool can import it; returns only the picklable
+    :class:`ResultSummary` — live simulator state never crosses back.
+    """
+    experiment = spec.to_scenario().build(duration_s)
+    result = experiment.run(duration_s, run_until_idle=run_until_idle)
+    return ResultSummary.from_result(result)
+
+
+@dataclass
+class TaskOutcome:
+    """How one sweep task ended."""
+
+    index: int
+    label: str
+    fingerprint: str
+    status: str                                   # done | failed | timeout
+    summary: Optional[ResultSummary] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+    source: str = "run"                           # run | manifest
+
+    def jsonable(self) -> dict:
+        row = {"index": self.index, "label": self.label,
+               "fingerprint": self.fingerprint, "status": self.status,
+               "attempts": self.attempts, "source": self.source,
+               "wall_s": self.wall_s}
+        if self.error is not None:
+            row["error"] = self.error
+        if self.summary is not None:
+            row["summary"] = self.summary.as_jsonable()
+        return row
+
+
+class SweepManifest:
+    """The on-disk resume ledger: fingerprint -> terminal outcome.
+
+    ``manifest.json`` is rewritten atomically after every settled task, so
+    an interrupted sweep loses at most the task in flight.  Completed
+    summaries are stored twice: canonically rendered (human-inspectable)
+    and pickled (base64) so a resumed sweep rehydrates real
+    :class:`ResultSummary` objects and can still build the full merged
+    artifact without re-running anything.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "manifest.json"
+        self.tasks: dict[str, dict] = {}
+        self.accounting: dict[str, int] = {}
+        if self.path.exists():
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            self.tasks = data.get("tasks", {})
+            self.accounting = data.get("accounting", {})
+
+    def completed_summary(self, fingerprint: str) -> Optional[ResultSummary]:
+        entry = self.tasks.get(fingerprint)
+        if entry is None or entry.get("status") != DONE:
+            return None
+        return pickle.loads(base64.b64decode(entry["pickle"]))
+
+    def record(self, outcome: TaskOutcome) -> None:
+        entry = {"label": outcome.label, "status": outcome.status,
+                 "attempts": outcome.attempts, "wall_s": outcome.wall_s}
+        if outcome.error is not None:
+            entry["error"] = outcome.error
+        if outcome.summary is not None:
+            entry["summary"] = outcome.summary.as_jsonable()
+            entry["pickle"] = base64.b64encode(
+                pickle.dumps(outcome.summary)).decode("ascii")
+        self.tasks[outcome.fingerprint] = entry
+
+    def write(self, accounting: Optional[dict] = None) -> None:
+        if accounting is not None:
+            self.accounting = dict(accounting)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"version": 1, "accounting": self.accounting,
+                              "tasks": self.tasks},
+                             sort_keys=True, indent=2) + "\n"
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, self.path)
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced, plus the invariant merged view."""
+
+    outcomes: list[TaskOutcome]
+    workers: int
+    duration_s: Optional[float]
+    wall_s: float = 0.0
+    retries: int = 0
+    worker_crashes: int = 0
+    pool_restarts: int = 0
+    skipped_from_manifest: int = 0
+
+    # ------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == DONE]
+
+    @property
+    def failed(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == FAILED]
+
+    @property
+    def timeouts(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == TIMEOUT]
+
+    def summaries(self) -> dict[str, ResultSummary]:
+        """label -> summary for every completed task."""
+        return {o.label: o.summary for o in self.completed}
+
+    def experiments_per_second(self) -> float:
+        ran = [o for o in self.completed if o.source == "run"]
+        return len(ran) / self.wall_s if self.wall_s > 0 and ran else 0.0
+
+    # ----------------------------------------------------------- merged view
+    def merged_bundle(self) -> Optional[SummaryBundle]:
+        """The sweep-wide fold of every completed experiment's bundle.
+
+        Folded in canonical (label, fingerprint) order — *not* completion
+        order — over commutative-monoid bundles, so the result is invariant
+        in worker count, scheduling, and completion order.
+        """
+        merged: Optional[SummaryBundle] = None
+        ordered = sorted(self.completed,
+                         key=lambda o: (o.label, o.fingerprint))
+        for outcome in ordered:
+            bundle = outcome.summary.bundle()
+            if merged is None:
+                merged = bundle
+            else:
+                merged.merge(bundle)
+        return merged
+
+    # ------------------------------------------------------------- artifacts
+    def canonical_artifact(self) -> dict:
+        """The deterministic sweep artifact (stable ordering throughout).
+
+        Contains only run content — labels, fingerprints, statuses, result
+        summaries, and the merged view.  Wall-clock, attempts, worker
+        counts, and manifest provenance are deliberately excluded so the
+        rendering is byte-identical across worker counts, completion
+        orders, and resumed runs (see :meth:`accounting` for those).
+        """
+        rows = [{"label": o.label, "fingerprint": o.fingerprint,
+                 "status": o.status,
+                 "summary": o.summary.as_jsonable() if o.summary else None,
+                 "error": o.error}
+                for o in sorted(self.outcomes,
+                                key=lambda o: (o.label, o.fingerprint))]
+        merged = self.merged_bundle()
+        return {
+            "artifact": "repro.sweep",
+            "tasks": len(self.outcomes),
+            "completed": len(self.completed),
+            "results": rows,
+            "merged": summary_jsonable(merged) if merged is not None else None,
+        }
+
+    def canonical_json(self) -> str:
+        """The canonical artifact as canonical JSON text (the byte contract)."""
+        return json.dumps(self.canonical_artifact(), sort_keys=True,
+                          indent=2) + "\n"
+
+    def accounting(self) -> dict:
+        """Non-deterministic run accounting (wall clock, retries, crashes)."""
+        return {
+            "workers": self.workers,
+            "duration_s": self.duration_s,
+            "wall_s": self.wall_s,
+            "tasks": len(self.outcomes),
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "timeouts": len(self.timeouts),
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "pool_restarts": self.pool_restarts,
+            "skipped_from_manifest": self.skipped_from_manifest,
+            "experiments_per_second": self.experiments_per_second(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SweepResult {len(self.completed)}/{len(self.outcomes)} done "
+                f"workers={self.workers} wall={self.wall_s:.2f}s "
+                f"retries={self.retries} timeouts={len(self.timeouts)}>")
+
+
+class SweepRunner:
+    """Execute sweep tasks serially or across a process pool.
+
+    Args:
+        workers: pool size.  ``<= 1`` runs every spec in-process, serially
+            (the reference execution); ``>= 2`` fans specs across a
+            ``ProcessPoolExecutor``.
+        duration_s / run_until_idle: forwarded to every scenario run.
+        timeout_s: per-task wall-clock budget (pool mode only — a serial
+            run cannot preempt itself).  A task past its budget is recorded
+            as ``timeout`` and its worker process is torn down (the pool is
+            rebuilt; other in-flight tasks are re-dispatched without
+            consuming retry budget).
+        retries: how many times a *failing or crashing* task is re-dispatched
+            before being recorded as ``failed``.  Timeouts never retry — a
+            deterministic spec that timed out once will time out again.
+        manifest_dir: enable resumability: completed spec fingerprints (and
+            their summaries) are persisted here incrementally; a rerun
+            skips them and still folds their results into the artifact.
+            The canonical artifact is also written here (``artifact.json``).
+        mp_context: multiprocessing start method; defaults to ``"fork"``
+            where available (workers inherit registered topologies and
+            workloads even when they were registered at runtime, e.g. from
+            a test module).  Under ``"spawn"`` every registration must be
+            importable from the spec's modules.
+    """
+
+    def __init__(self, *, workers: int = 1, duration_s: Optional[float] = 1.0,
+                 run_until_idle: bool = False, timeout_s: Optional[float] = None,
+                 retries: int = 0,
+                 manifest_dir: Union[str, Path, None] = None,
+                 mp_context: Optional[str] = None,
+                 poll_s: float = 0.02) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.duration_s = duration_s
+        self.run_until_idle = run_until_idle
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.manifest_dir = Path(manifest_dir) if manifest_dir is not None else None
+        self.poll_s = poll_s
+        if mp_context is None:
+            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+                else "spawn"
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------ entry
+    def run(self, sweep: Union[SweepSpec, Sequence[SweepTask],
+                               Sequence[ScenarioSpec]],
+            on_outcome: Optional[Callable[[TaskOutcome], None]] = None
+            ) -> SweepResult:
+        """Run every task; return the :class:`SweepResult`.
+
+        ``on_outcome`` (optional) is called with each :class:`TaskOutcome`
+        the moment it settles — completion order, not task order — which is
+        how callers stream incremental results out of a long sweep.
+        """
+        tasks = self._resolve_tasks(sweep)
+        manifest = SweepManifest(self.manifest_dir) \
+            if self.manifest_dir is not None else None
+        result = SweepResult(outcomes=[], workers=self.workers,
+                             duration_s=self.duration_s)
+        started = time.perf_counter()
+
+        def settle(outcome: TaskOutcome) -> None:
+            result.outcomes.append(outcome)
+            if manifest is not None and outcome.source == "run":
+                manifest.record(outcome)
+                manifest.write(result.accounting())
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        # Resume: completed fingerprints come straight from the manifest.
+        pending_tasks: list[SweepTask] = []
+        for task in tasks:
+            summary = manifest.completed_summary(task.fingerprint) \
+                if manifest is not None else None
+            if summary is not None:
+                result.skipped_from_manifest += 1
+                settle(TaskOutcome(index=task.index, label=task.label,
+                                   fingerprint=task.fingerprint, status=DONE,
+                                   summary=summary, attempts=0,
+                                   source="manifest"))
+            else:
+                pending_tasks.append(task)
+
+        if pending_tasks:
+            if self.workers <= 1:
+                self._run_serial(pending_tasks, settle)
+            else:
+                self._run_pool(pending_tasks, settle, result)
+
+        result.wall_s = time.perf_counter() - started
+        result.outcomes.sort(key=lambda outcome: outcome.index)
+        if manifest is not None:
+            manifest.write(result.accounting())
+            artifact_path = self.manifest_dir / "artifact.json"
+            artifact_path.write_text(result.canonical_json(), encoding="utf-8")
+        return result
+
+    def _resolve_tasks(self, sweep) -> list[SweepTask]:
+        if isinstance(sweep, SweepSpec):
+            return sweep.expand()
+        tasks: list[SweepTask] = []
+        for index, item in enumerate(sweep):
+            if isinstance(item, SweepTask):
+                tasks.append(item)
+            elif isinstance(item, ScenarioSpec):
+                label = f"{item.name or item.topology}#{index}"
+                tasks.append(SweepTask(index=index, label=label,
+                                       overrides={}, spec=item))
+            else:
+                raise TypeError(
+                    f"sweep item #{index} must be a SweepTask or ScenarioSpec, "
+                    f"got {type(item).__name__}")
+        if not tasks:
+            raise ValueError("the sweep has no tasks")
+        return tasks
+
+    # ----------------------------------------------------------------- serial
+    def _run_serial(self, tasks: list[SweepTask],
+                    settle: Callable[[TaskOutcome], None]) -> None:
+        for task in tasks:
+            attempts = 0
+            while True:
+                attempts += 1
+                begun = time.perf_counter()
+                try:
+                    summary = _execute_task(task.spec, self.duration_s,
+                                            self.run_until_idle)
+                except Exception as exc:               # noqa: BLE001 - accounted
+                    if attempts <= self.retries:
+                        continue
+                    settle(TaskOutcome(
+                        index=task.index, label=task.label,
+                        fingerprint=task.fingerprint, status=FAILED,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempts,
+                        wall_s=time.perf_counter() - begun))
+                    break
+                settle(TaskOutcome(index=task.index, label=task.label,
+                                   fingerprint=task.fingerprint, status=DONE,
+                                   summary=summary, attempts=attempts,
+                                   wall_s=time.perf_counter() - begun))
+                break
+
+    # ------------------------------------------------------------------- pool
+    def _make_executor(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(self.mp_context)
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=context)
+
+    @staticmethod
+    def _terminate(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard (stuck workers included)."""
+        processes = list(getattr(executor, "_processes", {}).values())
+        for process in processes:
+            process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join(timeout=1.0)
+
+    def _run_pool(self, tasks: list[SweepTask],
+                  settle: Callable[[TaskOutcome], None],
+                  result: SweepResult) -> None:
+        queue = deque((task, 0) for task in tasks)    # (task, attempts so far)
+        executor = self._make_executor()
+        inflight: dict = {}                 # future -> (task, attempts, t0)
+        # Tasks in flight when a pool broke with >1 task running: the crash
+        # cannot be attributed, so they re-run one at a time (window of 1)
+        # until each either settles or breaks the pool alone.
+        suspects: set[str] = set()
+        try:
+            while queue or inflight:
+                window = 1 if suspects else self.workers
+                while queue and len(inflight) < window:
+                    task, attempts = queue.popleft()
+                    future = executor.submit(_execute_task, task.spec,
+                                             self.duration_s,
+                                             self.run_until_idle)
+                    inflight[future] = (task, attempts + 1, time.perf_counter())
+
+                done, _ = wait(list(inflight), timeout=self.poll_s,
+                               return_when=FIRST_COMPLETED)
+                crashed: list = []          # (task, attempts, wall) from break
+                for future in done:
+                    task, attempts, t0 = inflight.pop(future)
+                    wall = time.perf_counter() - t0
+                    try:
+                        summary = future.result()
+                    except BrokenProcessPool:
+                        crashed.append((task, attempts, wall))
+                        continue
+                    except Exception as exc:           # noqa: BLE001 - accounted
+                        suspects.discard(task.fingerprint)
+                        if attempts <= self.retries:
+                            result.retries += 1
+                            queue.append((task, attempts))
+                        else:
+                            settle(TaskOutcome(
+                                index=task.index, label=task.label,
+                                fingerprint=task.fingerprint, status=FAILED,
+                                error=f"{type(exc).__name__}: {exc}",
+                                attempts=attempts, wall_s=wall))
+                        continue
+                    suspects.discard(task.fingerprint)
+                    settle(TaskOutcome(index=task.index, label=task.label,
+                                       fingerprint=task.fingerprint,
+                                       status=DONE, summary=summary,
+                                       attempts=attempts, wall_s=wall))
+
+                restart = bool(crashed)
+                if crashed:
+                    result.worker_crashes += 1
+                    # Every task on the broken pool is a casualty: the ones
+                    # whose futures raised plus the ones still in flight.
+                    casualties = crashed + [(task, attempts,
+                                             time.perf_counter() - t0)
+                                            for task, attempts, t0
+                                            in inflight.values()]
+                    inflight.clear()
+                    if len(casualties) == 1:
+                        # Alone on the pool: definitively the crasher.
+                        task, attempts, wall = casualties[0]
+                        suspects.discard(task.fingerprint)
+                        if attempts <= self.retries:
+                            result.retries += 1
+                            queue.appendleft((task, attempts))
+                        else:
+                            settle(TaskOutcome(
+                                index=task.index, label=task.label,
+                                fingerprint=task.fingerprint, status=FAILED,
+                                error="worker process crashed",
+                                attempts=attempts, wall_s=wall))
+                    else:
+                        # Ambiguous: isolate all of them (front of the queue,
+                        # re-dispatched without consuming retry budget).
+                        for task, attempts, _ in reversed(casualties):
+                            suspects.add(task.fingerprint)
+                            queue.appendleft((task, attempts - 1))
+
+                if self.timeout_s is not None and not restart:
+                    now = time.perf_counter()
+                    expired = [future for future, (_, _, t0) in inflight.items()
+                               if now - t0 > self.timeout_s]
+                    for future in expired:
+                        task, attempts, t0 = inflight.pop(future)
+                        settle(TaskOutcome(
+                            index=task.index, label=task.label,
+                            fingerprint=task.fingerprint, status=TIMEOUT,
+                            error=f"exceeded {self.timeout_s}s budget",
+                            attempts=attempts, wall_s=now - t0))
+                        if not future.cancel():
+                            # The task is running on a worker we cannot
+                            # preempt: the whole pool is torn down below and
+                            # innocent in-flight tasks are re-dispatched.
+                            restart = True
+
+                if restart:
+                    # Victim tasks (in flight on the dead pool through no
+                    # fault of their own) re-queue without consuming retries.
+                    for future, (task, attempts, _) in inflight.items():
+                        queue.append((task, attempts - 1))
+                    inflight.clear()
+                    self._terminate(executor)
+                    executor = self._make_executor()
+                    result.pool_restarts += 1
+        finally:
+            self._terminate(executor)

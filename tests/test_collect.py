@@ -7,9 +7,12 @@ differential guarantee: a single-shard inline plane is byte-identical to
 the legacy in-memory collector on every app scenario.
 """
 
+import json
+import os
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.collect import (CollectPlane, CollectorShard, CounterSummary,
                            HistogramSummary, SeriesSummary, Submission,
@@ -18,6 +21,10 @@ from repro.collect import (CollectPlane, CollectorShard, CounterSummary,
 from repro.endhost import Collector, PacketFilter
 from repro.net import mbps
 from repro.session import Scenario
+
+settings.register_profile("quick", max_examples=15)
+settings.register_profile("default", max_examples=60)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
 
 def counter(**counts):
@@ -97,6 +104,92 @@ class TestSummaryMonoids:
         rendered = summary_jsonable(bundle)
         assert list(rendered["parts"]) == ["a", "z"]
         assert list(rendered["parts"]["z"]["counts"]) == ["a", "b"]
+
+
+#: One fixed histogram geometry so every generated histogram is mergeable.
+_HIST_EDGES = (0, 4, 16, 64)
+
+_keys = st.sampled_from(["a", "b", "c", "d", "e"])
+_counters = st.dictionaries(_keys, st.integers(0, 1_000), max_size=5) \
+    .map(CounterSummary)
+_histograms = st.lists(st.integers(0, 128), max_size=12).map(
+    lambda values: _observe_all(HistogramSummary(_HIST_EDGES), values))
+_topks = st.dictionaries(_keys, st.integers(1, 500), max_size=5) \
+    .map(lambda counts: TopKSummary(k=3, counts=dict(counts)))
+_series = st.lists(st.tuples(st.integers(0, 50), _keys, st.integers(0, 99)),
+                   max_size=10) \
+    .map(lambda rows: SeriesSummary([(t / 10.0, key, v) for t, key, v in rows]))
+_summaries = st.one_of(_counters, _histograms, _topks, _series)
+
+#: Bundles type their parts by name (as real apps do: one part key, one
+#: summary kind), so cross-bundle merges always pair like with like.
+_bundles = st.fixed_dictionaries(
+    {}, optional={"counters": _counters, "occupancy": _histograms,
+                  "busiest": _topks, "series": _series}).map(SummaryBundle)
+
+
+def _observe_all(histogram, values):
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def _view(summary):
+    return json.dumps(summary_jsonable(summary), sort_keys=True)
+
+
+class TestMergeCommutativityProperties:
+    """Hypothesis: the monoid laws hold for *arbitrary* summaries.
+
+    The example-based monoid tests above pin specific behaviours; these
+    properties are what the sharded collect plane and the sweep layer's
+    order-invariant artifacts actually rely on — ``merge`` must commute,
+    associate, and be partition-invariant for every value the generators
+    can produce, integer-exact (canonical views compare byte-equal).
+    """
+
+    @given(a=_summaries, b=_summaries)
+    def test_merge_commutes(self, a, b):
+        if type(a) is not type(b):
+            return                              # only like merges with like
+        assert _view(merge_summaries(a, b)) == _view(merge_summaries(b, a))
+
+    @given(a=_summaries, b=_summaries, c=_summaries)
+    def test_merge_associates(self, a, b, c):
+        if not (type(a) is type(b) is type(c)):
+            return
+        left = merge_summaries(merge_summaries(a, b), c)
+        right = merge_summaries(a, merge_summaries(b, c))
+        assert _view(left) == _view(right)
+
+    @given(a=_summaries)
+    def test_empty_is_identity(self, a):
+        if isinstance(a, HistogramSummary):
+            empty = HistogramSummary(_HIST_EDGES)   # same bucket geometry
+        elif isinstance(a, TopKSummary):
+            empty = TopKSummary(k=a.k)              # same k
+        else:
+            empty = type(a)()
+        assert _view(merge_summaries(a, empty)) == _view(a)
+        assert _view(merge_summaries(empty, a)) == _view(a)
+
+    @given(bundles=st.lists(_bundles, min_size=1, max_size=8),
+           shards=st.integers(1, 4), rotate=st.integers(0, 7))
+    def test_sharded_fold_matches_serial_fold(self, bundles, shards, rotate):
+        """Partitioning across shards and re-ordering never changes the fold."""
+        serial = SummaryBundle()
+        for bundle in bundles:
+            serial.merge(bundle)
+
+        rotated = bundles[rotate % len(bundles):] + bundles[:rotate % len(bundles)]
+        per_shard = [SummaryBundle() for _ in range(shards)]
+        for index, bundle in enumerate(rotated):
+            per_shard[index % shards].merge(bundle)
+        sharded = SummaryBundle()
+        for shard in per_shard:
+            sharded.merge(shard)
+
+        assert _view(sharded) == _view(serial)
 
 
 def submission(seq, host="h0", key="", app="app", time=0.0, summary=None):

@@ -1,0 +1,304 @@
+"""Tests for the sweep layer (repro.sweep + repro.session.spec).
+
+Covers the spec-serialization contract (round-trip byte-identity across a
+pickle boundary, eager rejection of unpicklable hooks), sweep-plan
+expansion (grid / zip / seed replication, axis validation, duplicate
+detection), the differential guarantee (a multi-worker sweep's canonical
+artifact is byte-identical to the serial run), failure paths (worker
+exceptions, crashes, timeouts, retry accounting), and the resumable
+manifest (completed fingerprints are skipped, artifacts stay identical).
+"""
+
+import json
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.session import (ResultSummary, Scenario, ScenarioSpec, SpecError,
+                           register_workload)
+from repro.sweep import SweepRunner, SweepSpec, SweepTask
+
+#: Simulated seconds per experiment in the differential tests — tiny, the
+#: point is orchestration, not the physics.
+DT = 0.05
+
+
+# Module-level workloads (picklable by registry name, inherited by forked
+# sweep workers) used to provoke the runner's failure paths.
+@register_workload("sweep-test-explode")
+def exploding_workload(experiment, *, message: str = "kaboom"):
+    raise RuntimeError(message)
+
+
+@register_workload("sweep-test-crash")
+def crashing_workload(experiment):
+    os._exit(3)                                   # hard worker death
+
+
+@register_workload("sweep-test-sleepy")
+def sleepy_workload(experiment, *, sleep_s: float = 3.0):
+    time.sleep(sleep_s)                           # wall-clock stall
+    return 0
+
+
+def monitor_scenario(seed: int = 1, load: float = 0.2) -> Scenario:
+    return (Scenario("dumbbell", seed=seed, name="sweep-test", hosts_per_side=2)
+            .tpp("mon", "PUSH [Queue:QueueOccupancy]", num_hops=6,
+                 sample_frequency=2)
+            .workload("messages", offered_load=load))
+
+
+def workload_scenario(workload: str, **kwargs) -> Scenario:
+    built = Scenario("dumbbell", seed=1, name=f"sweep-{workload}",
+                     hosts_per_side=1)
+    return built.workload(workload, **kwargs)
+
+
+class TestScenarioSpec:
+    def test_round_trip_is_byte_identical(self):
+        spec = monitor_scenario().to_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert spec.fingerprint() == clone.fingerprint()
+        a = monitor_scenario().run(duration_s=DT)
+        b = clone.to_scenario().run(duration_s=DT)
+        assert a.events_executed == b.events_executed
+        assert a.tpps_received == b.tpps_received
+
+    def test_spec_run_matches_builder_run(self):
+        direct = monitor_scenario().run(duration_s=DT)
+        via_spec = monitor_scenario().to_spec().run(duration_s=DT)
+        assert direct.events_executed == via_spec.events_executed
+
+    def test_lambda_hooks_rejected_eagerly(self):
+        bad = monitor_scenario().setup(lambda experiment: None)
+        with pytest.raises(SpecError, match="lambda"):
+            bad.to_spec()
+
+    def test_closure_hooks_rejected_eagerly(self):
+        limit = 3
+
+        def closure_hook(experiment):
+            return limit
+
+        bad = monitor_scenario().setup(closure_hook)
+        with pytest.raises(SpecError, match="defined inside a function"):
+            bad.to_spec()
+
+    def test_from_spec_round_trips_through_scenario(self):
+        spec = monitor_scenario().to_spec()
+        again = Scenario.from_spec(spec).to_spec()
+        assert spec.fingerprint() == again.fingerprint()
+
+    @pytest.mark.parametrize("maker", [
+        "microburst_scenario", "rcp_scenario", "conga_scenario",
+        "sketch_scenario", "netsight_scenario"])
+    def test_app_scenarios_are_spec_serializable(self, maker):
+        import repro.apps.conga
+        import repro.apps.microburst
+        import repro.apps.netsight
+        import repro.apps.rcp
+        import repro.apps.sketches
+        for module in (repro.apps.microburst, repro.apps.rcp, repro.apps.conga,
+                       repro.apps.sketches, repro.apps.netsight):
+            if hasattr(module, maker):
+                spec = getattr(module, maker)().to_spec()
+                clone = pickle.loads(pickle.dumps(spec))
+                assert spec.fingerprint() == clone.fingerprint()
+                return
+        pytest.fail(f"no app module defines {maker}")
+
+    def test_result_summary_is_picklable_and_mergeable(self):
+        summary = ResultSummary.from_result(monitor_scenario().run(duration_s=DT))
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.as_jsonable() == summary.as_jsonable()
+        merged = summary.bundle()
+        merged.merge(clone.bundle())
+        assert merged["experiment-counters"]["experiments"] == 2
+        assert merged["experiment-counters"]["events_executed"] == \
+            2 * summary.counters["events_executed"]
+
+
+class TestSweepSpec:
+    def test_grid_expansion_order_and_labels(self):
+        sweep = (SweepSpec(monitor_scenario())
+                 .axis("workload.messages.offered_load", [0.1, 0.2])
+                 .axis("seed", [1, 2]))
+        tasks = sweep.expand()
+        assert len(sweep) == len(tasks) == 4
+        assert [t.label for t in tasks] == [
+            "workload.messages.offered_load=0.1,seed=1",
+            "workload.messages.offered_load=0.1,seed=2",
+            "workload.messages.offered_load=0.2,seed=1",
+            "workload.messages.offered_load=0.2,seed=2"]
+        assert len({t.fingerprint for t in tasks}) == 4
+
+    def test_zip_mode_locksteps_axes(self):
+        sweep = (SweepSpec(monitor_scenario(), mode="zip")
+                 .axis("seed", [1, 2, 3])
+                 .axis("workload.messages.offered_load", [0.1, 0.2, 0.3]))
+        assert len(sweep.expand()) == 3
+
+    def test_zip_mode_rejects_unequal_axes(self):
+        sweep = (SweepSpec(monitor_scenario(), mode="zip")
+                 .axis("seed", [1, 2])
+                 .axis("workload.messages.offered_load", [0.1]))
+        with pytest.raises(ValueError, match="equal-length"):
+            sweep.expand()
+
+    def test_replicate_expands_from_base_seed(self):
+        tasks = SweepSpec(monitor_scenario(seed=5)).replicate(3).expand()
+        assert [t.spec.seed for t in tasks] == [5, 6, 7]
+
+    def test_axis_paths_validate_eagerly(self):
+        sweep = SweepSpec(monitor_scenario())
+        with pytest.raises(SpecError, match="unknown root"):
+            sweep.axis("nonsense.path", [1])
+        with pytest.raises(SpecError, match="no declared workload"):
+            sweep.axis("workload.nope.rate", [1])
+        with pytest.raises(SpecError, match="no declared TPP"):
+            sweep.axis("tpp.nope.num_hops", [1])
+        with pytest.raises(SpecError, match="CollectorSpec has no"):
+            sweep.axis("collector.nope", [1])
+
+    def test_duplicate_points_rejected(self):
+        sweep = (SweepSpec(monitor_scenario())
+                 .axis("seed", [1])
+                 .axis("name", ["same", "same"]))
+        with pytest.raises(ValueError, match="identical specs"):
+            sweep.expand()
+
+    def test_tpp_and_collector_axes_apply(self):
+        base = monitor_scenario()
+        base.collector(shards=1, transport="inline")
+        tasks = (SweepSpec(base)
+                 .axis("tpp.mon.sample_frequency", [1, 4])
+                 .axis("collector.shards", [1, 2])).expand()
+        assert len(tasks) == 4
+        assert tasks[-1].spec.tpps[0].sample_frequency == 4
+        assert tasks[-1].spec.collector.shards == 2
+
+
+class TestSweepDifferential:
+    def test_parallel_sweeps_are_byte_identical_to_serial(self):
+        """The acceptance gate: >= 16 specs, 2- and 4-worker runs render the
+        byte-identical canonical artifact to the serial reference."""
+        sweep = (SweepSpec(monitor_scenario())
+                 .axis("workload.messages.offered_load", [0.1, 0.2, 0.3, 0.4])
+                 .replicate(4))
+        tasks = sweep.expand()
+        assert len(tasks) >= 16
+        reference = SweepRunner(workers=1, duration_s=DT).run(tasks)
+        assert len(reference.completed) == len(tasks)
+        for workers in (2, 4):
+            parallel = SweepRunner(workers=workers, duration_s=DT).run(tasks)
+            assert parallel.canonical_json() == reference.canonical_json(), \
+                f"artifact diverged at {workers} workers"
+        merged = reference.merged_bundle()
+        assert merged["experiment-counters"]["experiments"] == len(tasks)
+
+    def test_streaming_outcomes_arrive_incrementally(self):
+        sweep = SweepSpec(monitor_scenario()).replicate(3)
+        seen = []
+        result = SweepRunner(workers=2, duration_s=DT).run(
+            sweep, on_outcome=seen.append)
+        assert sorted(o.label for o in result.outcomes) == \
+            sorted(o.label for o in seen)
+        assert all(o.status == "done" for o in seen)
+
+
+class TestFailurePaths:
+    def test_worker_exception_is_recorded(self):
+        tasks = [SweepTask(index=0, label="boom", overrides={},
+                           spec=workload_scenario("sweep-test-explode",
+                                                  message="no luck").to_spec())]
+        result = SweepRunner(workers=2, duration_s=DT).run(tasks)
+        (outcome,) = result.outcomes
+        assert outcome.status == "failed"
+        assert "no luck" in outcome.error
+        assert outcome.attempts == 1
+
+    def test_retry_budget_and_accounting(self):
+        tasks = [SweepTask(index=0, label="boom", overrides={},
+                           spec=workload_scenario("sweep-test-explode").to_spec())]
+        result = SweepRunner(workers=2, duration_s=DT, retries=2).run(tasks)
+        (outcome,) = result.outcomes
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3              # 1 try + 2 retries
+        assert result.retries == 2
+
+    def test_serial_runner_records_failures_too(self):
+        specs = [workload_scenario("sweep-test-explode").to_spec(),
+                 monitor_scenario().to_spec()]
+        result = SweepRunner(workers=1, duration_s=DT).run(specs)
+        assert [o.status for o in result.outcomes] == ["failed", "done"]
+
+    def test_worker_crash_is_accounted_and_pool_recovers(self):
+        specs = [workload_scenario("sweep-test-crash").to_spec(),
+                 monitor_scenario().to_spec()]
+        result = SweepRunner(workers=2, duration_s=DT).run(specs)
+        by_label = {o.label: o for o in result.outcomes}
+        crashed = by_label["sweep-sweep-test-crash#0"]
+        assert crashed.status == "failed" and "crashed" in crashed.error
+        assert by_label["sweep-test#1"].status == "done"
+        assert result.worker_crashes >= 1
+        assert result.pool_restarts >= 1
+
+    def test_timeout_kills_the_task_not_the_sweep(self):
+        specs = [workload_scenario("sweep-test-sleepy", sleep_s=30.0).to_spec(),
+                 monitor_scenario().to_spec()]
+        result = SweepRunner(workers=2, duration_s=DT, timeout_s=0.5).run(specs)
+        by_label = {o.label: o for o in result.outcomes}
+        timed_out = by_label["sweep-sweep-test-sleepy#0"]
+        assert timed_out.status == "timeout"
+        assert "0.5" in timed_out.error
+        assert by_label["sweep-test#1"].status == "done"
+
+
+class TestResumableManifest:
+    def test_resume_skips_completed_and_artifact_is_identical(self, tmp_path):
+        sweep = SweepSpec(monitor_scenario()).replicate(4)
+        first = SweepRunner(workers=1, duration_s=DT,
+                            manifest_dir=tmp_path).run(sweep)
+        assert first.skipped_from_manifest == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest["tasks"]) == 4
+        assert all(entry["status"] == "done"
+                   for entry in manifest["tasks"].values())
+
+        second = SweepRunner(workers=1, duration_s=DT,
+                             manifest_dir=tmp_path).run(sweep)
+        assert second.skipped_from_manifest == 4
+        assert all(o.source == "manifest" for o in second.outcomes)
+        assert second.canonical_json() == first.canonical_json()
+        assert (tmp_path / "artifact.json").read_text() == first.canonical_json()
+
+    def test_failed_tasks_are_retried_on_resume(self, tmp_path):
+        specs = [workload_scenario("sweep-test-explode").to_spec(),
+                 monitor_scenario().to_spec()]
+        first = SweepRunner(workers=1, duration_s=DT,
+                            manifest_dir=tmp_path).run(specs)
+        assert [o.status for o in first.outcomes] == ["failed", "done"]
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        statuses = sorted(entry["status"] for entry in manifest["tasks"].values())
+        assert statuses == ["done", "failed"]
+        assert manifest["accounting"]["failed"] == 1
+
+        second = SweepRunner(workers=1, duration_s=DT,
+                             manifest_dir=tmp_path).run(specs)
+        assert second.skipped_from_manifest == 1   # only the success skips
+        retried = [o for o in second.outcomes if o.source == "run"]
+        assert len(retried) == 1 and retried[0].status == "failed"
+
+    def test_manifest_grows_incrementally(self, tmp_path):
+        sweep = SweepSpec(monitor_scenario()).replicate(2)
+        sizes = []
+
+        def on_outcome(outcome):
+            manifest = json.loads((tmp_path / "manifest.json").read_text())
+            sizes.append(len(manifest["tasks"]))
+
+        SweepRunner(workers=1, duration_s=DT,
+                    manifest_dir=tmp_path).run(sweep, on_outcome=on_outcome)
+        assert sizes == [1, 2]

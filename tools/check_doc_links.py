@@ -10,7 +10,11 @@ references that were never part of this repo):
 * ``path#anchor`` targets must point at an existing file AND a heading in
   it whose GitHub-style slug matches the anchor;
 * external links (http/https/mailto) are *not* fetched — CI must not
-  depend on the network — but obviously malformed ones (no host) fail.
+  depend on the network — but obviously malformed ones (no host) fail;
+* backtick-quoted repo paths (````tests/test_sweep.py````,
+  ````benchmarks/bench_sweep_scale.py```` …) must exist, resolved against
+  the repo root, ``src/``, or ``src/repro/`` — so docs cannot reference
+  files that were renamed or never landed.
 
 Exit status 0 when every link resolves, 1 otherwise (each broken link is
 reported as ``file:line: message``).
@@ -30,6 +34,19 @@ from pathlib import Path
 #: URLs are out of scope — the repo's docs use inline links exclusively.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+#: Inline code spans, and the file-looking paths inside them: at least one
+#: directory component plus a known extension (bare filenames like
+#: ``manifest.json`` name run-time outputs, not repo files, and are skipped;
+#: globs are skipped too).
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+CODE_PATH_RE = re.compile(r"(?<![\w./-])([\w.-]+(?:/[\w.-]+)+"
+                          r"\.(?:py|md|json|yml|yaml|toml))(?![\w/-])")
+
+#: Roots a backtick-quoted path may be relative to: repo root for
+#: ``tests/...``/``benchmarks/...``, the source roots for module paths the
+#: architecture docs quote as ``core/tcpu.py`` or ``repro/sweep/plan.py``.
+PATH_ROOTS = ("", "src", "src/repro")
 
 
 def github_slug(heading: str) -> str:
@@ -54,7 +71,7 @@ def heading_slugs(path: Path) -> set[str]:
     return slugs
 
 
-def check_file(md_file: Path) -> list[str]:
+def check_file(md_file: Path, repo_root: Path) -> list[str]:
     errors: list[str] = []
     in_code_fence = False
     for lineno, line in enumerate(md_file.read_text(encoding="utf-8").splitlines(),
@@ -68,7 +85,23 @@ def check_file(md_file: Path) -> list[str]:
             error = check_target(md_file, target)
             if error:
                 errors.append(f"{md_file}:{lineno}: {error}")
+        for candidate in code_path_candidates(line):
+            if not any((repo_root / root / candidate).exists()
+                       for root in PATH_ROOTS):
+                errors.append(f"{md_file}:{lineno}: stale code reference "
+                              f"`{candidate}`: not found under repo root, "
+                              f"src/, or src/repro/")
     return errors
+
+
+def code_path_candidates(line: str) -> list[str]:
+    """File-looking paths quoted in the line's inline code spans."""
+    candidates: list[str] = []
+    for span in CODE_SPAN_RE.findall(line):
+        if any(ch in span for ch in "*{<"):   # globs / templates, not paths
+            continue
+        candidates.extend(CODE_PATH_RE.findall(span))
+    return candidates
 
 
 def check_target(md_file: Path, target: str) -> str | None:
@@ -107,7 +140,9 @@ def main(argv: list[str]) -> int:
         for path in missing:
             print(f"{path}: file not found", file=sys.stderr)
         return 1
-    errors = [error for md_file in files for error in check_file(md_file)]
+    errors = [error
+              for md_file in files
+              for error in check_file(md_file, repo_root)]
     for error in errors:
         print(error, file=sys.stderr)
     checked = sum(len(LINK_RE.findall(f.read_text(encoding='utf-8'))) for f in files)
