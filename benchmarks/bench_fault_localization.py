@@ -1,0 +1,220 @@
+"""Macro-benchmark: fault-plane invariance and TPP loss localization.
+
+The fault plane (:mod:`repro.faults`) makes two load-bearing promises,
+and this benchmark locks both in as hard assertions:
+
+* **Invariance** — declaring an *empty* :class:`~repro.faults.FaultPlan`
+  is free.  Every app scenario in the repo (micro-burst, NetSight, the
+  sketch suite, RCP, CONGA, net-verify) runs untouched and again with an
+  empty plan declared; each pair must land on the identical simulator
+  event total and the identical canonical :class:`ResultSummary` JSON.
+  The fault plane draws no randomness and schedules no events until a
+  plan has entries, so turning it on cannot shift a single baseline.
+* **Localization + remediation** — a seeded gray failure (one
+  edge-to-aggregation link on the k=4 fat tree silently corrupting a
+  fraction of its packets) must be *named* by the loss-localization TPP's
+  per-hop counter diffs, and the ``disable-and-repair`` policy must land
+  a measurably lower fault-attributable loss penalty than the
+  ``do-nothing`` baseline it is benchmarked against.
+
+The results are recorded in a JSON artifact
+(``BENCH_fault_localization.json`` by default) so the repo carries the
+measured run next to the code.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_localization.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_fault_localization.py --loss-rate 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import time
+
+from repro.faults import FaultEvent, FaultPlan, RemediationSpec
+from repro.net import mbps
+from repro.session import ResultSummary
+
+#: The injected gray failure: an edge-to-aggregation link every pod-0
+#: host's traffic crosses, corrupting silently while staying "up".
+LOSSY_LINK = "edge0_0<->agg0_0"
+
+
+# --------------------------------------------------------------- invariance
+def app_scenarios(quick: bool):
+    """(name, scenario factory, duration) for every app in the repo.
+
+    Durations mirror the collect-plane differential tests; quick mode
+    halves them (byte-identity holds at any length).
+    """
+    from repro.apps.conga import conga_scenario
+    from repro.apps.microburst import microburst_scenario
+    from repro.apps.netsight import netsight_scenario
+    from repro.apps.netverify import verification_scenario
+    from repro.apps.rcp import ALPHA_MAXMIN, rcp_scenario
+    from repro.apps.sketches import sketch_scenario
+
+    scale = 0.5 if quick else 1.0
+    rows = [
+        ("microburst",
+         lambda: microburst_scenario(link_rate_bps=mbps(10),
+                                     offered_load=0.4, seed=3),
+         0.25 * scale),
+        ("netsight",
+         lambda: netsight_scenario(link_rate_bps=mbps(10), seed=2),
+         0.2 * scale),
+        ("sketches",
+         lambda: sketch_scenario(num_leaves=2, num_spines=1,
+                                 hosts_per_leaf=2, seed=2),
+         0.4 * scale),
+        ("rcp",
+         lambda: rcp_scenario(alpha=ALPHA_MAXMIN, link_rate_bps=mbps(10)),
+         1.0 * scale),
+        ("conga",
+         lambda: conga_scenario("conga", link_rate_bps=mbps(10)),
+         1.0 * scale),
+        ("netverify", verification_scenario, 0.35 * scale),
+    ]
+    return rows
+
+
+def run_raw(scenario, duration_s: float) -> ResultSummary:
+    """The unmapped result's canonical summary (mappers vary per app)."""
+    result = scenario.build(duration_s).run(duration_s)
+    return ResultSummary.from_result(result)
+
+
+def canonical_view(summary: ResultSummary) -> str:
+    """The summary as sorted JSON, with object addresses masked.
+
+    Some app summaries (the sketch suite) fall back to ``repr`` for
+    non-mergeable parts, which embeds a memory address that shifts
+    between *any* two runs in one process; everything else must match
+    byte for byte.
+    """
+    view = json.dumps(summary.as_jsonable(), sort_keys=True)
+    return re.sub(r"0x[0-9a-f]+", "0x-", view)
+
+
+def invariance_leg(quick: bool) -> dict:
+    """Every app, with and without an empty plan; assert byte-identity."""
+    rows = []
+    for name, factory, duration in app_scenarios(quick):
+        start = time.perf_counter()
+        baseline = run_raw(factory(), duration)
+        degraded = run_raw(factory().faults(FaultPlan()), duration)
+        wall = time.perf_counter() - start
+        events = baseline.counters["events_executed"]
+        assert degraded.counters["events_executed"] == events, \
+            f"{name}: event totals diverged under an empty plan " \
+            f"({degraded.counters['events_executed']:,} vs {events:,})"
+        assert canonical_view(degraded) == canonical_view(baseline), \
+            f"{name}: result summary diverged under an empty plan"
+        assert degraded.counters["fault_events_applied"] == 0
+        rows.append({"app": name, "duration_s": duration, "events": events,
+                     "wall_s": wall, "identical": True})
+        print(f"  {name}: {events:,} events — empty plan byte-identical "
+              f"({wall:.1f}s wall)")
+    return {"apps": rows, "identical": True}
+
+
+# ------------------------------------------------------------- localization
+def localization_leg(duration_s: float, loss_rate: float, seed: int) -> dict:
+    """Inject one corrupting link; localize it; compare the two policies."""
+    from repro.apps.losslocal import localize, losslocal_scenario
+
+    plan = FaultPlan(events=(FaultEvent(0.0, LOSSY_LINK, "loss", loss_rate),),
+                     seed=seed)
+
+    def run_policy(policy: str | None) -> dict:
+        scenario = losslocal_scenario(k=4, link_rate_bps=mbps(100),
+                                      offered_load=0.2, seed=seed,
+                                      faults=plan)
+        if policy is not None:
+            scenario.remediation(RemediationSpec(policy=policy))
+        experiment = scenario.build(duration_s)
+        result = experiment.run(duration_s)
+        suspects = localize(result)
+        controller = experiment.remediation
+        return {
+            "policy": policy or "none",
+            "events": result.events_executed,
+            "packets_corrupted": result.packets_corrupted,
+            "drop_reasons": dict(result.drop_reasons),
+            "accused_link": suspects[0].link if suspects else None,
+            "top_deficit": suspects[0].deficit if suspects else 0,
+            "loss_penalty": controller.loss_penalty() if controller else None,
+            "links_disabled": controller.links_disabled if controller else 0,
+            "reroutes": controller.reroutes if controller else 0,
+        }
+
+    nothing = run_policy("do-nothing")
+    acting = run_policy("disable-and-repair")
+
+    for row in (nothing, acting):
+        assert row["accused_link"] == LOSSY_LINK, \
+            f"{row['policy']}: localization accused {row['accused_link']!r}, " \
+            f"injected {LOSSY_LINK!r}"
+        print(f"  {row['policy']}: accused {row['accused_link']} "
+              f"(deficit {row['top_deficit']}), "
+              f"penalty {row['loss_penalty']}, "
+              f"{row['packets_corrupted']} corrupted")
+    assert acting["links_disabled"] == 1
+    assert acting["loss_penalty"] < nothing["loss_penalty"], \
+        f"disable-and-repair did not cut the penalty " \
+        f"({acting['loss_penalty']} vs {nothing['loss_penalty']})"
+    reduction = 1 - acting["loss_penalty"] / nothing["loss_penalty"]
+    print(f"  disable-and-repair cut the loss penalty by {reduction:.0%}")
+    return {
+        "injected_link": LOSSY_LINK,
+        "loss_rate": loss_rate,
+        "duration_s": duration_s,
+        "seed": seed,
+        "runs": [nothing, acting],
+        "penalty_reduction": reduction,
+        "localized": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: shorter runs, same assertions")
+    parser.add_argument("--duration", type=float, default=0.6,
+                        help="simulated seconds for the localization runs")
+    parser.add_argument("--loss-rate", type=float, default=0.1,
+                        help="corruption probability on the injected link")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="plan seed (workload seed rides along)")
+    parser.add_argument("--output", default="BENCH_fault_localization.json",
+                        help="artifact path "
+                             "(default: BENCH_fault_localization.json)")
+    args = parser.parse_args()
+
+    duration = 0.3 if args.quick else args.duration
+
+    print("invariance: every app scenario, untouched vs empty FaultPlan")
+    invariance = invariance_leg(args.quick)
+    print(f"localization: k=4 fat tree, {LOSSY_LINK} corrupting at "
+          f"{args.loss_rate:g}, {duration:g}s simulated")
+    localization = localization_leg(duration, args.loss_rate, args.seed)
+
+    artifact = {
+        "benchmark": "bench_fault_localization",
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "invariance": invariance,
+        "localization": localization,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"artifact written: {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,7 @@
 """The paper's dataplane tasks, refactored over the TPP interface (§2)."""
 
-from . import conga, microburst, netsight, netverify, rcp, sketches
+from . import (conga, losslocal, microburst, netsight, netverify, rcp,
+               sketches)
 
-__all__ = ["conga", "microburst", "netsight", "netverify", "rcp", "sketches"]
+__all__ = ["conga", "losslocal", "microburst", "netsight", "netverify",
+           "rcp", "sketches"]

@@ -1,0 +1,28 @@
+"""The fault plane: link degradation, injection, and remediation.
+
+Three cooperating pieces (see the module docstrings for the contracts):
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`,
+  the deterministic picklable event trace, plus the scenario-level
+  :class:`FaultSpec` / :class:`RemediationSpec` declarations;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which replays a
+  plan through the simulator onto the live links;
+* :mod:`repro.faults.policy` — the ``@register_policy`` registry and the
+  :class:`RemediationController` loop reacting to detector verdicts.
+
+The degradation mechanics themselves live on :class:`repro.net.link.Link`
+(``set_loss`` / ``set_down`` / ``set_up``); this package only decides
+*when* and *what*, so the net layer stays usable without it.
+"""
+
+from .injector import FaultInjector, link_rng
+from .plan import (FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec,
+                   RemediationSpec)
+from .policy import (POLICIES, LinkVerdict, RemediationController,
+                     RemediationPolicy, register_policy)
+
+__all__ = [
+    "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan", "FaultSpec",
+    "LinkVerdict", "POLICIES", "RemediationController", "RemediationPolicy",
+    "RemediationSpec", "link_rng", "register_policy",
+]

@@ -4,11 +4,21 @@ A :class:`Link` joins two :class:`~repro.net.port.Port` objects.  The link
 itself only stores capacity, propagation delay and aggregate counters; the
 transmission state machines live in the ports (one per direction), which is
 what makes the link full duplex.
+
+Links also carry the fault plane's degradation state (see
+:mod:`repro.faults`): a time-varying Bernoulli corruption rate applied at
+the *receiving* end — a failed CRC, so tx/link counters stand while the
+peer's rx counters do not move — and up/down transition accounting.  The
+healthy path is untouched: with ``loss_rate == 0`` no random draw happens,
+so a run with an empty fault plan is byte-identical to one without any.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import random
+from typing import TYPE_CHECKING, Optional
+
+from .port import DROP_CORRUPTED, DROP_LINK_DOWN, DROP_PEER_DOWN
 
 if TYPE_CHECKING:  # pragma: no cover
     from .packet import Packet
@@ -42,6 +52,17 @@ class Link:
         self.name = name or f"{port_a.name}<->{port_b.name}"
         self.total_bytes = 0
         self.total_packets = 0
+        # Degradation state (repro.faults): Bernoulli corruption probability
+        # applied per delivered packet, drawn from a seeded per-link stream.
+        self.loss_rate = 0.0
+        self._loss_rng: Optional[random.Random] = None
+        self.packets_corrupted = 0
+        self.bytes_corrupted = 0
+        # Up/down transition accounting: actual state changes only (repeated
+        # set_down() calls while already down do not count).
+        self.down_transitions = 0
+        self.up_transitions = 0
+        self.last_transition_time: Optional[float] = None
         port_a.attach(self, port_b)
         port_b.attach(self, port_a)
 
@@ -72,6 +93,7 @@ class Link:
                 packet.drop_reason = f"link down at {from_port.name}"
                 queue.packets_dropped_total += 1
                 queue.bytes_dropped_total += packet.size
+                from_port.count_drop(DROP_LINK_DOWN)
             return 0
         burst_bytes = 0
         for packet in packets:
@@ -87,7 +109,21 @@ class Link:
             for packet in packets:
                 packet.dropped = True
                 packet.drop_reason = "peer port down"
+                from_port.count_drop(DROP_PEER_DOWN)
             return 0
+        if self.loss_rate:
+            survivors = []
+            for packet in packets:
+                if self.corrupt(packet):
+                    peer.error_packets += 1
+                    peer.count_drop(DROP_CORRUPTED)
+                else:
+                    survivors.append(packet)
+            packets = survivors
+            count = len(packets)
+            burst_bytes = sum(packet.size for packet in packets)
+            if not packets:
+                return 0
         peer.rx_bytes += burst_bytes
         peer.rx_packets += count
         receive_batch = getattr(peer.node, "receive_batch", None)
@@ -99,12 +135,56 @@ class Link:
                 receive(packet, peer)
         return count
 
+    # ---------------------------------------------------------- degradation
+    def set_loss(self, loss_rate: float, rng: Optional[random.Random] = None) -> None:
+        """Set the Bernoulli corruption probability for delivered packets.
+
+        ``rng`` supplies the per-link random stream (the fault injector
+        seeds one deterministically per link); without one, a stream seeded
+        from the link name keeps standalone use deterministic too.
+        """
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = loss_rate
+        if rng is not None:
+            self._loss_rng = rng
+        elif self.loss_rate and self._loss_rng is None:
+            self._loss_rng = random.Random(self.name)
+
+    def clear_loss(self) -> None:
+        """Stop corrupting (the counters stand; the rng stream is kept)."""
+        self.loss_rate = 0.0
+
+    def corrupt(self, packet: "Packet") -> bool:
+        """One Bernoulli draw for a packet reaching the far end of the wire.
+
+        Callers guard on ``self.loss_rate`` being non-zero, so healthy
+        links never consume a random draw.  A corrupted packet is marked
+        dropped and counted here; the *caller* owns the receive-side port
+        accounting (error_packets, drops_by_reason) and must not count the
+        packet into the peer's rx counters — that tx/rx deficit is the
+        signal the loss-localization TPP measures.
+        """
+        if self._loss_rng.random() >= self.loss_rate:
+            return False
+        packet.dropped = True
+        packet.drop_reason = f"corrupted on {self.name}"
+        self.packets_corrupted += 1
+        self.bytes_corrupted += packet.size
+        return True
+
     def set_down(self) -> None:
         """Fail the link; packets sent over it are dropped."""
-        self.up = False
+        if self.up:
+            self.up = False
+            self.down_transitions += 1
+            self.last_transition_time = self.port_a.sim.now
 
     def set_up(self) -> None:
-        self.up = True
+        if not self.up:
+            self.up = True
+            self.up_transitions += 1
+            self.last_transition_time = self.port_a.sim.now
 
     def other_end(self, port: "Port") -> "Port":
         """The port at the opposite end of ``port``."""

@@ -22,6 +22,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
     from .sim import Simulator
 
+#: Canonical drop-accounting categories.  Every drop site stamps the packet
+#: with a human-readable ``drop_reason`` *and* counts the drop under one of
+#: these categories in the owning port's ``drops_by_reason``, so experiment
+#: telemetry can aggregate losses by cause instead of re-parsing reason
+#: strings off individual packets.
+DROP_LINK_DOWN = "link-down"
+DROP_QUEUE_OVERFLOW = "queue-overflow"
+DROP_PEER_DOWN = "peer-down"
+DROP_CORRUPTED = "corrupted"
+
 
 class EgressQueue:
     """Drop-tail FIFO with byte/packet occupancy and drop accounting."""
@@ -104,6 +114,8 @@ class Port:
         self.rx_bytes = 0
         self.rx_packets = 0
         self.error_packets = 0
+        # Drops at this port, keyed by the categories above.
+        self.drops_by_reason: dict[str, int] = {}
         # Precomputed labels: the transmit state machine schedules two events
         # per packet, and building f-strings there is measurable at scale.
         self._name = f"{node.name}.p{index}"
@@ -129,6 +141,10 @@ class Port:
         self.link = link
         self.peer = peer
 
+    def count_drop(self, category: str) -> None:
+        """Count one drop at this port under a canonical category."""
+        self.drops_by_reason[category] = self.drops_by_reason.get(category, 0) + 1
+
     # ------------------------------------------------------------ transmit path
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet for transmission out of this port.
@@ -143,11 +159,13 @@ class Port:
             packet.drop_reason = f"link down at {self.name}"
             self.queue.packets_dropped_total += 1
             self.queue.bytes_dropped_total += packet.size
+            self.count_drop(DROP_LINK_DOWN)
             return False
         accepted = self.queue.enqueue(packet)
         if not accepted:
             packet.dropped = True
             packet.drop_reason = f"queue overflow at {self.name}"
+            self.count_drop(DROP_QUEUE_OVERFLOW)
             self.node.on_packet_dropped(packet, self)
             return False
         packet.enqueue_times.append(self.sim.now)
@@ -175,6 +193,7 @@ class Port:
                 packet.drop_reason = f"link down at {self.name}"
                 queue.packets_dropped_total += 1
                 queue.bytes_dropped_total += packet.size
+                self.count_drop(DROP_LINK_DOWN)
             return 0
         queue = self.queue
         now = self.sim.now
@@ -188,6 +207,7 @@ class Port:
             else:
                 packet.dropped = True
                 packet.drop_reason = f"queue overflow at {self.name}"
+                self.count_drop(DROP_QUEUE_OVERFLOW)
                 self.node.on_packet_dropped(packet, self)
         return accepted
 
@@ -227,6 +247,16 @@ class Port:
         if peer is None or not peer.up:
             packet.dropped = True
             packet.drop_reason = "peer port down"
+            self.count_drop(DROP_PEER_DOWN)
+            return
+        link = self.link
+        if link.loss_rate and link.corrupt(packet):
+            # Receive-side corruption (a failed CRC): the packet serialised
+            # and propagated — tx and link counters stand — but is never
+            # counted into the peer's rx counters.  That tx/rx deficit is
+            # exactly what the loss-localization TPP diffs across hops.
+            peer.error_packets += 1
+            peer.count_drop(DROP_CORRUPTED)
             return
         peer.rx_bytes += packet.size
         peer.rx_packets += 1

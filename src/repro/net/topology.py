@@ -92,6 +92,22 @@ class Network:
                 result.append((port.peer.node.name, port.index))
         return result
 
+    def up_neighbors(self, name: str) -> list[tuple[str, int]]:
+        """Like :meth:`neighbors`, but only over currently-usable links.
+
+        A link is usable when the link itself and both endpoint ports are
+        up.  Routing uses this view, so recomputing routes after a failure
+        (or a remediation policy disabling a link) steers around it.
+        """
+        node = self.node(name)
+        result = []
+        for port in node.ports:
+            peer = port.peer
+            if (peer is not None and port.up and peer.up
+                    and port.link is not None and port.link.up):
+                result.append((peer.node.name, port.index))
+        return result
+
     def ports_towards(self, name: str, neighbor: str) -> list[int]:
         """Local port indices on ``name`` whose peer is ``neighbor``."""
         return [idx for peer, idx in self.neighbors(name) if peer == neighbor]
@@ -105,26 +121,38 @@ class Network:
 
     # --------------------------------------------------------------- routing
     def hop_distances_to(self, destination: str) -> dict[str, int]:
-        """BFS hop counts from every node to ``destination``."""
+        """BFS hop counts from every node to ``destination``.
+
+        Only usable (up) links count: a node cut off by failures simply
+        does not appear in the result.
+        """
         if destination not in self.hosts and destination not in self.switches:
             raise ValueError(f"unknown destination {destination!r}")
         distances = {destination: 0}
         frontier = deque([destination])
         while frontier:
             current = frontier.popleft()
-            for neighbor, _ in self.neighbors(current):
+            for neighbor, _ in self.up_neighbors(current):
                 if neighbor not in distances:
                     distances[neighbor] = distances[current] + 1
                     frontier.append(neighbor)
         return distances
 
     def install_shortest_path_routes(self, ecmp: bool = True,
-                                     group_policy: str = "hash") -> None:
+                                     group_policy: str = "hash",
+                                     priority: int = 0,
+                                     salt: int = 0) -> None:
         """Compute shortest paths to every host and install forwarding state.
 
         When a switch has several equal-cost next hops towards a destination
         and ``ecmp`` is True, a multipath group is installed (selection policy
-        ``group_policy``); otherwise the first next hop wins.
+        ``group_policy``, hash salt ``salt``); otherwise the first next hop
+        wins.  Routes go around down links.
+
+        ``priority`` matters when re-routing mid-run: flow tables resolve
+        equal-priority matches oldest-first, so a recomputation that should
+        *replace* existing routes must be installed at a strictly higher
+        priority than the incumbent entries.
         """
         next_group_id = {name: 1000 for name in self.switches}
         for dst_name in self.hosts:
@@ -134,18 +162,21 @@ class Network:
                     continue
                 my_distance = distances[switch_name]
                 candidate_ports: list[int] = []
-                for neighbor, port_index in self.neighbors(switch_name):
+                for neighbor, port_index in self.up_neighbors(switch_name):
                     if distances.get(neighbor, float("inf")) == my_distance - 1:
                         candidate_ports.append(port_index)
                 if not candidate_ports:
                     continue
                 if len(candidate_ports) == 1 or not ecmp:
-                    switch.install_route(dst_name, candidate_ports[0])
+                    switch.install_route(dst_name, candidate_ports[0],
+                                         priority=priority)
                 else:
                     group_id = next_group_id[switch_name]
                     next_group_id[switch_name] += 1
-                    switch.install_group(group_id, candidate_ports, policy=group_policy)
-                    switch.install_group_route(dst_name, group_id)
+                    switch.install_group(group_id, candidate_ports,
+                                         policy=group_policy, salt=salt)
+                    switch.install_group_route(dst_name, group_id,
+                                               priority=priority)
 
     def compute_path(self, src: str, dst: str) -> list[str]:
         """One shortest path (node names, inclusive) from ``src`` to ``dst``."""
@@ -155,7 +186,7 @@ class Network:
         path = [src]
         current = src
         while current != dst:
-            for neighbor, _ in self.neighbors(current):
+            for neighbor, _ in self.up_neighbors(current):
                 if distances.get(neighbor, float("inf")) == distances[current] - 1:
                     path.append(neighbor)
                     current = neighbor

@@ -8,8 +8,9 @@ TPP applications, and the instantiated workloads.  It is created by
 
 Determinism contract: building an experiment performs every step in a fixed
 order — topology, ECMP salting, stacks, TPP deployments (in declaration
-order), workloads (in declaration order), setup hooks (in declaration
-order) — and all randomness flows from one ``random.Random(seed)``, so two
+order), workloads (in declaration order), the fault plane (injector then
+remediation, each on its own seed), setup hooks (in declaration order) —
+and all workload randomness flows from one ``random.Random(seed)``, so two
 experiments built from equal scenarios produce byte-identical event
 sequences.
 """
@@ -153,6 +154,32 @@ class Experiment:
                 else wspec.workload
             self.workloads[wspec.name] = factory(self, **wspec.kwargs)
 
+        # Fault plane (repro.faults): plan resolution and the remediation
+        # loop draw from their own seeds, never self.rng — declaring an
+        # empty plan must leave the event sequence byte-identical.
+        self.fault_injector = None
+        self.remediation = None
+        if scenario.fault_spec is not None:
+            from repro.faults import FaultInjector
+            plan = scenario.fault_spec.resolve(self.network)
+            self.fault_injector = FaultInjector(self.network, plan)
+            self.fault_injector.schedule(self.sim)
+        if scenario.remediation_spec is not None:
+            from repro.faults import RemediationController
+            rspec = scenario.remediation_spec
+            if rspec.app not in self.apps:
+                raise ValueError(
+                    f"remediation watches app {rspec.app!r}, which is not "
+                    f"deployed; have {sorted(self.apps)}")
+            collector = self.collect_plane.front_door(
+                "remediation", name="remediation-collector") \
+                if self.collect_plane is not None else Collector("remediation-collector")
+            self.collectors["remediation"] = collector
+            self.remediation = RemediationController(
+                self.network, rspec, self.apps[rspec.app], self.sim,
+                collector=collector)
+            self.remediation.start()
+
         for hook in scenario.setup_hooks:
             hook(self)
 
@@ -177,6 +204,8 @@ class Experiment:
         self._plane_push_rounds += 1
         for deployed in self.apps.values():
             deployed.push_all_summaries(now)
+        if self.remediation is not None:
+            self.remediation.push_summary(now)
 
     def _deploy_tpp(self, spec: "TppSpec") -> None:
         collector = spec.collector
@@ -240,6 +269,8 @@ class Experiment:
             # Quiesce every event source first, or the drain never goes idle.
             self.network.stop_switch_processes()
             self._stop_workloads()
+            if self.remediation is not None:
+                self.remediation.stop()        # the poll loop never idles
             if self.collect_plane is not None:
                 self.collect_plane.stop()      # epoch clocks are event sources
             self.sim.run_until_idle()
@@ -261,10 +292,16 @@ class Experiment:
             return self._result
         self.network.stop_switch_processes()
         self._stop_workloads()
+        if self.remediation is not None:
+            self.remediation.stop()
         for callback in reversed(self._stop_callbacks):
             callback()
         for hook in self.scenario.finalize_hooks:
             hook(self)
+        if self.remediation is not None and self.collect_plane is None:
+            # Mirror the aggregator contract: one final snapshot at finish.
+            if self.remediation.push_rounds == 0:
+                self.remediation.push_summary(self.sim.now)
         if self.collect_plane is not None:
             self.collect_plane.stop()
             # Apps that never pushed on their own (beyond the plane's epoch
@@ -273,6 +310,9 @@ class Experiment:
             for deployed in self.apps.values():
                 if deployed.push_rounds <= self._plane_push_rounds:
                     deployed.push_all_summaries(self.sim.now)
+            if self.remediation is not None \
+                    and self.remediation.push_rounds <= self._plane_push_rounds:
+                self.remediation.push_summary(self.sim.now)
             self.collect_plane.flush_all()
         self._result = self._assemble_result()
         return self._result
@@ -305,6 +345,20 @@ class Experiment:
             delivered = plane_stats.parts_delivered
             dropped = plane_stats.parts_dropped
             flushes = plane_stats.flushes
+        corrupted = downs = ups = 0
+        for link in self.network.links:
+            corrupted += link.packets_corrupted
+            downs += link.down_transitions
+            ups += link.up_transitions
+        drop_reasons: dict[str, int] = {}
+        for name in sorted(self.network.nodes):
+            for port in self.network.nodes[name].ports:
+                for reason, count in port.drops_by_reason.items():
+                    drop_reasons[reason] = drop_reasons.get(reason, 0) + count
+        fault_events = self.fault_injector.events_applied \
+            if self.fault_injector is not None else 0
+        actions = len(self.remediation.actions) \
+            if self.remediation is not None else 0
         return ExperimentResult(
             scenario=self.scenario.name,
             topology=self.scenario.topology_name,
@@ -327,6 +381,12 @@ class Experiment:
             summary_parts_delivered=delivered,
             summary_parts_dropped=dropped,
             summary_flushes=flushes,
+            fault_events_applied=fault_events,
+            packets_corrupted=corrupted,
+            link_down_transitions=downs,
+            link_up_transitions=ups,
+            remediation_actions=actions,
+            drop_reasons=drop_reasons,
             apps=dict(self.apps),
             collectors=dict(self.collectors),
             workloads=dict(self.workloads),
@@ -374,6 +434,16 @@ class ExperimentResult:
     summary_parts_delivered: int = 0
     summary_parts_dropped: int = 0
     summary_flushes: int = 0
+    # Fault-plane telemetry (all zero/empty on a healthy run): plan events
+    # applied, link corruption and up/down transition totals, remediation
+    # actions taken, and network-wide per-category drop counts (the
+    # canonical repro.net.port.DROP_* categories), summed over every port.
+    fault_events_applied: int = 0
+    packets_corrupted: int = 0
+    link_down_transitions: int = 0
+    link_up_transitions: int = 0
+    remediation_actions: int = 0
+    drop_reasons: dict[str, int] = field(default_factory=dict)
     apps: dict[str, DeployedApplication] = field(default_factory=dict)
     collectors: dict[str, Collector] = field(default_factory=dict)
     workloads: dict[str, Any] = field(default_factory=dict)

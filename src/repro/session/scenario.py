@@ -45,7 +45,13 @@ every random draw taken from one ``random.Random(seed)``:
 6. **TPP deployments** — each ``.tpp(...)`` spec, in declaration order;
 7. **workloads** — each ``.workload(...)`` spec, in declaration order
    (registered workloads draw their child seed here, also in order);
-8. **setup hooks** — each ``.setup(...)`` hook, in declaration order.
+8. **fault plane** — with ``.faults(...)``, the resolved
+   :class:`~repro.faults.FaultPlan` is scheduled by a
+   :class:`~repro.faults.FaultInjector`; with ``.remediation(...)``, the
+   :class:`~repro.faults.RemediationController` loop is started.  Both
+   draw from their *own* seeds (never the master rng), so an empty plan
+   leaves the run byte-identical to one with no fault plane at all;
+9. **setup hooks** — each ``.setup(...)`` hook, in declaration order.
 
 Because the order is fixed and the seed flows from one rng, equal
 scenarios with equal seeds produce byte-identical event sequences — the
@@ -157,6 +163,8 @@ class Scenario:
         self.seed_ecmp = seed_ecmp
         self.compile_traces = compile_traces
         self.collector_spec: Optional[CollectorSpec] = None
+        self.fault_spec = None                   # Optional[FaultSpec]
+        self.remediation_spec = None             # Optional[RemediationSpec]
         self.tpp_specs: list[TppSpec] = []
         self.workload_specs: list[WorkloadSpec] = []
         self.setup_hooks: list[Hook] = []
@@ -292,6 +300,60 @@ class Scenario:
                                             capacity=capacity,
                                             hosts=list(hosts) if hosts else None,
                                             retain=retain)
+        return self
+
+    def faults(self, plan=None, **generator_kwargs) -> "Scenario":
+        """Declare the fault plane (see :mod:`repro.faults`).
+
+        Accepts a :class:`~repro.faults.FaultSpec` (used as-is), a
+        :class:`~repro.faults.FaultPlan` (wrapped), or generator knobs
+        forwarded to :class:`~repro.faults.FaultSpec` (``seed``,
+        ``corrupt_links``, ``loss_rate``, ``onset_s``, ``fail_links``,
+        ``fail_at_s``, ``repair_after_s``, ``links``) that resolve to a
+        plan once the topology exists.  Validation is eager — bad knobs
+        fail here, not inside the build.
+        """
+        from repro.faults import FaultPlan, FaultSpec
+        if isinstance(plan, FaultSpec):
+            if generator_kwargs:
+                raise ValueError("pass either a FaultSpec or generator "
+                                 "kwargs, not both")
+            self.fault_spec = plan
+        elif isinstance(plan, FaultPlan):
+            if generator_kwargs:
+                raise ValueError("pass either a FaultPlan or generator "
+                                 "kwargs, not both")
+            self.fault_spec = FaultSpec(plan=plan)
+        elif plan is None:
+            self.fault_spec = FaultSpec(**generator_kwargs)
+        else:
+            raise TypeError(f"faults() takes a FaultSpec, a FaultPlan, or "
+                            f"generator kwargs; got {type(plan).__name__}")
+        return self
+
+    def remediation(self, policy="do-nothing", **spec_kwargs) -> "Scenario":
+        """Declare the remediation loop (see :mod:`repro.faults.policy`).
+
+        ``policy`` is a registered policy name (resolved eagerly against
+        the ``@register_policy`` registry, so typos fail with the menu) or
+        a pre-built :class:`~repro.faults.RemediationSpec`; keyword knobs
+        (``app``, ``period_s``, ``threshold``, ``min_path_diversity``,
+        ``repair_time_s``) forward to the spec.
+        """
+        from repro.faults import POLICIES, RemediationSpec
+        if isinstance(policy, RemediationSpec):
+            if spec_kwargs:
+                raise ValueError("pass either a RemediationSpec or spec "
+                                 "kwargs, not both")
+            spec = policy
+        elif isinstance(policy, str):
+            spec = RemediationSpec(policy=policy, **spec_kwargs)
+        else:
+            raise TypeError(f"remediation() takes a policy name or a "
+                            f"RemediationSpec; got {type(policy).__name__}")
+        if spec.policy not in POLICIES:
+            POLICIES.get(spec.policy)        # raises with the registered menu
+        self.remediation_spec = spec
         return self
 
     def collect(self, on_tpp: Callable, *, app: Optional[str] = None) -> "Scenario":

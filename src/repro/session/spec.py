@@ -188,6 +188,8 @@ class ScenarioSpec:
     seed_ecmp: bool = False
     compile_traces: bool = False
     collector: Optional[Any] = None               # CollectorSpec
+    faults: Optional[Any] = None                  # FaultSpec
+    remediation: Optional[Any] = None             # RemediationSpec
     tpps: list[Any] = field(default_factory=list)         # TppSpec
     workloads: list[Any] = field(default_factory=list)    # WorkloadSpec
     setup_hooks: list[Any] = field(default_factory=list)
@@ -208,6 +210,8 @@ class ScenarioSpec:
             seed_ecmp=scenario.seed_ecmp,
             compile_traces=scenario.compile_traces,
             collector=copy.deepcopy(scenario.collector_spec),
+            faults=copy.deepcopy(scenario.fault_spec),
+            remediation=copy.deepcopy(scenario.remediation_spec),
             tpps=copy.deepcopy(scenario.tpp_specs),
             workloads=copy.deepcopy(scenario.workload_specs),
             setup_hooks=list(scenario.setup_hooks),
@@ -225,6 +229,10 @@ class ScenarioSpec:
         ensure_picklable(self.topology_kwargs, f"topology {self.topology!r} kwargs")
         if self.collector is not None:
             ensure_picklable(self.collector, "collector spec")
+        if self.faults is not None:
+            ensure_picklable(self.faults, "fault spec")
+        if self.remediation is not None:
+            ensure_picklable(self.remediation, "remediation spec")
         for tpp in self.tpps:
             where = f"tpp {tpp.name!r}"
             ensure_picklable(tpp.program, f"{where} program")
@@ -257,6 +265,8 @@ class ScenarioSpec:
                             compile_traces=self.compile_traces,
                             **copy.deepcopy(self.topology_kwargs))
         scenario.collector_spec = copy.deepcopy(self.collector)
+        scenario.fault_spec = copy.deepcopy(self.faults)
+        scenario.remediation_spec = copy.deepcopy(self.remediation)
         scenario.tpp_specs = copy.deepcopy(self.tpps)
         scenario.workload_specs = copy.deepcopy(self.workloads)
         scenario.setup_hooks = list(self.setup_hooks)
@@ -299,6 +309,8 @@ RESULT_COUNTER_FIELDS = (
     "tpps_truncated", "traces_compiled", "trace_executions",
     "trace_fallbacks", "collect_shards", "summaries_submitted",
     "summary_parts_delivered", "summary_parts_dropped", "summary_flushes",
+    "fault_events_applied", "packets_corrupted", "link_down_transitions",
+    "link_up_transitions", "remediation_actions",
 )
 
 

@@ -18,6 +18,10 @@ Axis paths address the spec declaratively::
     compile_traces            engine toggle (likewise seed_ecmp / stacks)
     topology.<kwarg>          a topology-builder keyword
     collector.<field>         a .collector(...) knob (shards, epoch_s, ...)
+    faults.<field>            a .faults(...) knob (loss_rate, corrupt_links,
+                              onset_s, seed, ...)
+    remediation.<field>       a .remediation(...) knob (policy, period_s,
+                              threshold, min_path_diversity, ...)
     workload.<name>.<kwarg>   a keyword of the named workload declaration
     tpp.<name>.<field>        a field of the named TPP declaration
                               (sample_frequency, num_hops, priority, ...)
@@ -34,6 +38,7 @@ import itertools
 from dataclasses import dataclass, fields, replace
 from typing import Any, Iterable, Optional, Sequence, Union
 
+from repro.faults import FaultSpec, RemediationSpec
 from repro.session import Scenario, ScenarioSpec
 from repro.session.scenario import CollectorSpec
 from repro.session.spec import SpecError, ensure_picklable
@@ -100,6 +105,26 @@ def _apply_override(spec: ScenarioSpec, path: str, value: Any) -> None:
                             f"field {rest!r}")
         spec.collector = replace(spec.collector, **{rest: value})
         return
+    if head == "faults":
+        if not rest or "." in rest:
+            raise SpecError(f"axis path {path!r} must be faults.<field>")
+        if spec.faults is None:
+            spec.faults = FaultSpec()
+        if rest not in {f.name for f in fields(FaultSpec)}:
+            raise SpecError(f"axis path {path!r}: FaultSpec has no "
+                            f"field {rest!r}")
+        spec.faults = replace(spec.faults, **{rest: value})
+        return
+    if head == "remediation":
+        if not rest or "." in rest:
+            raise SpecError(f"axis path {path!r} must be remediation.<field>")
+        if spec.remediation is None:
+            spec.remediation = RemediationSpec()
+        if rest not in {f.name for f in fields(RemediationSpec)}:
+            raise SpecError(f"axis path {path!r}: RemediationSpec has no "
+                            f"field {rest!r}")
+        spec.remediation = replace(spec.remediation, **{rest: value})
+        return
     if head == "workload":
         wname, _, kwarg = rest.partition(".")
         if not wname or not kwarg:
@@ -125,7 +150,7 @@ def _apply_override(spec: ScenarioSpec, path: str, value: Any) -> None:
                         f"(have {[t.name for t in spec.tpps]})")
     raise SpecError(
         f"axis path {path!r}: unknown root {head!r}; expected one of "
-        f"{_SCALAR_PATHS + ('topology', 'collector', 'workload', 'tpp')}")
+        f"{_SCALAR_PATHS + ('topology', 'collector', 'faults', 'remediation', 'workload', 'tpp')}")
 
 
 class SweepSpec:

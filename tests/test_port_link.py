@@ -5,7 +5,8 @@ import pytest
 from repro.net.link import Link, gbps, mbps
 from repro.net.node import Host
 from repro.net.packet import udp_packet
-from repro.net.port import EgressQueue
+from repro.net.port import (DROP_CORRUPTED, DROP_LINK_DOWN, DROP_PEER_DOWN,
+                            DROP_QUEUE_OVERFLOW, EgressQueue)
 from repro.net.sim import Simulator
 
 
@@ -121,3 +122,159 @@ class TestTransmission:
         assert a.ports[0].tx_bytes == 1000
         assert b.ports[0].rx_packets == 1
         assert link.total_packets == 1
+
+    def test_drop_categories_on_transmit_path(self):
+        sim, a, b, link = _pair(queue_packets=1)
+        link.set_down()
+        assert a.send(udp_packet("a", "b", 100)) is False
+        link.set_up()
+        for _ in range(4):                    # 1 in flight + 1 queued fit
+            a.send(udp_packet("a", "b", 958))
+        sim.run_until_idle()
+        assert a.ports[0].drops_by_reason == {DROP_LINK_DOWN: 1,
+                                              DROP_QUEUE_OVERFLOW: 2}
+
+    def test_peer_down_drop_charged_to_sender(self):
+        sim, a, b, link = _pair()
+        packet = udp_packet("a", "b", 958)
+        a.send(packet)
+        b.ports[0].up = False                 # fails mid-flight
+        sim.run_until_idle()
+        assert packet.dropped
+        assert packet.drop_reason == "peer port down"
+        assert a.ports[0].drops_by_reason == {DROP_PEER_DOWN: 1}
+        assert b.ports[0].rx_packets == 0
+        # The packet did serialise: tx and link accounting stand.
+        assert a.ports[0].tx_packets == 1
+        assert link.total_packets == 1
+
+
+class TestDeliverBurst:
+    """Failure-path accounting for the batched injection entry point.
+
+    The asymmetry under test: a send-side failure (link or sending port
+    down) drops *before* any serialisation — tx/link counters must not
+    move — while a receive-side failure (peer port down, corruption)
+    happens *after* the burst crossed the wire, so tx/link counters stand
+    and only the peer's rx side stays silent.
+    """
+
+    def _burst(self, n=3):
+        return [udp_packet("a", "b", 100) for _ in range(n)]
+
+    def test_send_side_link_down(self):
+        sim, a, b, link = _pair()
+        link.set_down()
+        packets = self._burst()
+        assert link.deliver_burst(packets, a.ports[0]) == 0
+        assert a.ports[0].queue.packets_dropped_total == 3
+        assert a.ports[0].drops_by_reason == {DROP_LINK_DOWN: 3}
+        assert a.ports[0].tx_packets == 0
+        assert link.total_packets == 0
+        assert b.ports[0].rx_packets == 0
+        assert all(p.dropped and "link down" in p.drop_reason for p in packets)
+
+    def test_send_side_port_down(self):
+        sim, a, b, link = _pair()
+        a.ports[0].up = False
+        assert link.deliver_burst(self._burst(), a.ports[0]) == 0
+        assert a.ports[0].drops_by_reason == {DROP_LINK_DOWN: 3}
+        assert link.total_packets == 0
+
+    def test_receive_side_peer_down(self):
+        sim, a, b, link = _pair()
+        b.ports[0].up = False
+        packets = self._burst()
+        assert link.deliver_burst(packets, a.ports[0]) == 0
+        # The burst was serialised before the receive-side loss.
+        assert a.ports[0].tx_packets == 3
+        assert link.total_packets == 3
+        assert a.ports[0].queue.packets_dropped_total == 0
+        assert a.ports[0].drops_by_reason == {DROP_PEER_DOWN: 3}
+        assert b.ports[0].rx_packets == 0
+        assert all(p.drop_reason == "peer port down" for p in packets)
+
+    def test_corrupting_link_filters_burst(self):
+        sim, a, b, link = _pair()
+        link.set_loss(1.0)
+        packets = self._burst()
+        assert link.deliver_burst(packets, a.ports[0]) == 0
+        assert a.ports[0].tx_packets == 3
+        assert link.total_packets == 3
+        assert link.packets_corrupted == 3
+        assert b.ports[0].rx_packets == 0
+        assert b.ports[0].error_packets == 3
+        assert b.ports[0].drops_by_reason == {DROP_CORRUPTED: 3}
+        assert all("corrupted on" in p.drop_reason for p in packets)
+
+    def test_partial_corruption_delivers_survivors(self):
+        sim, a, b, link = _pair()
+        link.set_loss(0.5)
+        delivered = link.deliver_burst(self._burst(40), a.ports[0])
+        assert delivered == 40 - link.packets_corrupted
+        assert 0 < link.packets_corrupted < 40
+        assert b.ports[0].rx_packets == delivered
+        assert b.ports[0].error_packets == link.packets_corrupted
+
+
+class TestDegradation:
+    def test_set_loss_validates_rate(self):
+        _, _, _, link = _pair()
+        with pytest.raises(ValueError):
+            link.set_loss(1.5)
+        with pytest.raises(ValueError):
+            link.set_loss(-0.1)
+
+    def test_transmit_path_corruption(self):
+        sim, a, b, link = _pair()
+        link.set_loss(1.0)
+        packet = udp_packet("a", "b", 958)
+        a.send(packet)
+        sim.run_until_idle()
+        assert packet.dropped and "corrupted on" in packet.drop_reason
+        assert b.ports[0].rx_packets == 0
+        assert b.ports[0].error_packets == 1
+        assert b.ports[0].drops_by_reason == {DROP_CORRUPTED: 1}
+        assert a.ports[0].tx_packets == 1      # it did serialise
+        assert link.packets_corrupted == 1
+        assert link.bytes_corrupted == 1000
+
+    def test_clear_loss_restores_delivery(self):
+        sim, a, b, link = _pair()
+        link.set_loss(1.0)
+        link.clear_loss()
+        a.send(udp_packet("a", "b", 958))
+        sim.run_until_idle()
+        assert b.packets_received == 1
+
+    def test_default_rng_is_deterministic_per_link_name(self):
+        draws = []
+        for _ in range(2):
+            sim, a, b, link = _pair()
+            link.set_loss(0.5)
+            outcomes = [link.corrupt(udp_packet("a", "b", 10))
+                        for _ in range(32)]
+            draws.append(outcomes)
+        assert draws[0] == draws[1]
+
+    def test_transitions_counted_and_timestamped(self):
+        sim, a, b, link = _pair()
+        assert link.down_transitions == link.up_transitions == 0
+        assert link.last_transition_time is None
+        sim.schedule_at(0.5, link.set_down)
+        sim.schedule_at(0.75, link.set_up)
+        sim.run(until=1.0)
+        assert link.down_transitions == 1
+        assert link.up_transitions == 1
+        assert link.last_transition_time == pytest.approx(0.75)
+
+    def test_repeated_transitions_do_not_double_count(self):
+        _, _, _, link = _pair()
+        link.set_down()
+        stamp = link.last_transition_time
+        link.set_down()                        # already down: no-op
+        assert link.down_transitions == 1
+        assert link.last_transition_time == stamp
+        link.set_up()
+        link.set_up()                          # already up: no-op
+        assert link.up_transitions == 1
