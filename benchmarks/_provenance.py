@@ -1,0 +1,35 @@
+"""Shared provenance stamping for the committed ``BENCH_*.json`` artifacts.
+
+Every benchmark writes its artifact through :func:`write_artifact`, which
+stamps a ``provenance`` section (git commit, python, host, cpu count, and
+a fingerprint of the artifact's workload/config section) via
+:mod:`repro.obs.provenance` before serialising.  The stamp answers "which
+code, which machine, which configuration produced this number?" for any
+artifact checked into the repo.
+
+The module lives next to the benchmarks (imported as ``import
+_provenance`` — scripts run with ``sys.path[0] == benchmarks/``), so all
+four benchmarks share one stamping path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.provenance import stamp
+
+
+def write_artifact(artifact: dict[str, Any], path: str) -> dict[str, Any]:
+    """Stamp ``artifact`` with provenance and write it as indented JSON.
+
+    The fingerprint covers the artifact's ``workload`` (or ``config``)
+    section — the knobs that determine the measured numbers — so two
+    artifacts with equal fingerprints measured the same configuration.
+    Returns the stamped artifact.
+    """
+    stamp(artifact)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    return artifact

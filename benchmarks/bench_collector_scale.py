@@ -31,9 +31,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import time
 
+import _provenance
 from repro.apps.microburst import MICROBURST_TPP_SOURCE, MicroburstAggregator
 from repro.collect import (CollectPlane, CounterSummary, HistogramSummary,
                            SeriesSummary, SummaryBundle, TopKSummary,
@@ -209,8 +209,14 @@ def main() -> None:
 
     artifact = {
         "benchmark": "bench_collector_scale",
-        "python": platform.python_version(),
         "quick": args.quick,
+        "config": {
+            "quick": args.quick,
+            "duration_s": duration,
+            "shard_counts": list(args.shards),
+            "hosts": hosts, "keys": keys, "rounds": rounds,
+            "sweep_workers": args.sweep_workers,
+        },
         "shard_counts": list(args.shards),
         "invariance": invariance,
         "throughput": {
@@ -218,9 +224,7 @@ def main() -> None:
             "runs": throughput,
         },
     }
-    with open(args.output, "w", encoding="utf-8") as fh:
-        json.dump(artifact, fh, indent=2)
-        fh.write("\n")
+    _provenance.write_artifact(artifact, args.output)
     print(f"artifact written: {args.output}")
 
 

@@ -43,10 +43,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 
+import _provenance
+from repro import obs
 from repro.endhost.filters import PacketFilter
 from repro.net.link import gbps
 from repro.session import Scenario
@@ -62,9 +62,10 @@ TPP_SOURCE = "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueOccupancy]"
 EXPECTED_TRACE_SPEEDUP = 1.15
 
 
-def build_workload(use_batch: bool = True, compile_traces: bool = False):
+def build_workload(use_batch: bool = True, compile_traces: bool = False,
+                   telemetry=None):
     """The 3-tier topology plus per-host burst generators, via one Scenario."""
-    experiment = (
+    return (
         Scenario("fat-tree", seed=1, name="event-throughput",
                  k=4, link_rate_bps=gbps(1), link_delay_s=5e-6,
                  compile_traces=compile_traces)
@@ -73,13 +74,14 @@ def build_workload(use_batch: bool = True, compile_traces: bool = False):
         .workload("cross-pod-bursts", burst_packets=BURST_PACKETS,
                   burst_interval_s=BURST_INTERVAL_S, payload_bytes=PAYLOAD_BYTES,
                   use_batch=use_batch)
-        .build())
-    return experiment.sim, experiment.network
+        .build(telemetry=telemetry))
 
 
 def run_once(duration_s: float, use_batch: bool = True,
              compile_traces: bool = False) -> dict:
-    sim, net = build_workload(use_batch=use_batch, compile_traces=compile_traces)
+    experiment = build_workload(use_batch=use_batch,
+                                compile_traces=compile_traces)
+    sim, net = experiment.sim, experiment.network
     start = time.perf_counter()
     sim.run(until=duration_s)
     wall_s = time.perf_counter() - start
@@ -171,16 +173,32 @@ def compare_traces(duration_s: float, repeat: int, use_batch: bool,
             "use_batch": use_batch,
             "repeat": repeat,
         },
-        "python": platform.python_version(),
         "interpreted": interpreted,
         "compiled": compiled,
         "events_per_s_speedup": round(speedup, 4),
         "identical_totals": True,
     }
-    with open(output, "w", encoding="utf-8") as fh:
-        json.dump(artifact, fh, indent=2)
-        fh.write("\n")
+    _provenance.write_artifact(artifact, output)
     print(f"  artifact written    : {output}")
+
+
+def profile(duration_s: float, use_batch: bool, compile_traces: bool,
+            trace_output: str) -> None:
+    """One instrumented run: Perfetto trace out, top-5 span self-times."""
+    telemetry = obs.Telemetry(slices=8)
+    experiment = build_workload(use_batch=use_batch,
+                                compile_traces=compile_traces,
+                                telemetry=telemetry)
+    result = experiment.run(duration_s)
+    obs.write_trace(telemetry, trace_output)
+    print(f"profiled run: {result.events_executed:,} events over "
+          f"{duration_s * 1e3:g} ms simulated")
+    print(f"  Perfetto trace      : {trace_output} "
+          f"(open in https://ui.perfetto.dev)")
+    print("  top-5 span self-times:")
+    top = sorted(telemetry.self_times().items(), key=lambda kv: -kv[1])[:5]
+    for name, self_s in top:
+        print(f"    {name:<22s} {self_s * 1e3:10.3f} ms")
 
 
 def main() -> None:
@@ -202,10 +220,20 @@ def main() -> None:
                              "(default: BENCH_tcpu_trace.json)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions (best wall-clock rate is reported)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run once under telemetry: write a Perfetto "
+                             "trace and print top-5 span self-times")
+    parser.add_argument("--trace-output", default="trace_event_throughput.json",
+                        help="Perfetto trace path for --profile "
+                             "(default: trace_event_throughput.json)")
     args = parser.parse_args()
 
     duration = 2e-3 if args.quick else args.duration
     use_batch = not args.no_batch
+
+    if args.profile:
+        profile(duration, use_batch, args.traces, args.trace_output)
+        return
 
     if args.compare_traces:
         compare_traces(duration, args.repeat, use_batch, args.output)

@@ -31,10 +31,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import re
 import time
 
+import _provenance
 from repro.faults import FaultEvent, FaultPlan, RemediationSpec
 from repro.net import mbps
 from repro.session import ResultSummary
@@ -205,14 +205,18 @@ def main() -> None:
 
     artifact = {
         "benchmark": "bench_fault_localization",
-        "python": platform.python_version(),
         "quick": args.quick,
+        "config": {
+            "quick": args.quick,
+            "duration_s": duration,
+            "loss_rate": args.loss_rate,
+            "seed": args.seed,
+            "lossy_link": LOSSY_LINK,
+        },
         "invariance": invariance,
         "localization": localization,
     }
-    with open(args.output, "w", encoding="utf-8") as fh:
-        json.dump(artifact, fh, indent=2)
-        fh.write("\n")
+    _provenance.write_artifact(artifact, args.output)
     print(f"artifact written: {args.output}")
 
 

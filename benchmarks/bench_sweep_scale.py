@@ -29,10 +29,9 @@ from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import os
-import platform
 
+import _provenance
 from repro.apps.microburst import MICROBURST_TPP_SOURCE, MicroburstAggregator
 from repro.endhost import PacketFilter
 from repro.net import mbps
@@ -173,16 +172,20 @@ def main() -> None:
 
     artifact = {
         "benchmark": "bench_sweep_scale",
-        "python": platform.python_version(),
         "quick": args.quick,
+        "config": {
+            "quick": args.quick,
+            "worker_counts": list(worker_counts),
+            "loads": list(loads),
+            "seeds": seeds,
+            "duration_s": duration,
+        },
         "available_cpus": cpus,
         "worker_counts": list(worker_counts),
         "scaling": scaling,
         "speedup_assertion": speedup,
     }
-    with open(args.output, "w", encoding="utf-8") as fh:
-        json.dump(artifact, fh, indent=2)
-        fh.write("\n")
+    _provenance.write_artifact(artifact, args.output)
     print(f"artifact written: {args.output}")
 
 

@@ -25,9 +25,11 @@ Subpackages
 * :mod:`repro.hardware` — the §6 feasibility models (latency, area, end-host
   dataplane throughput).
 * :mod:`repro.stats` — series/CDF helpers and experiment summaries.
+* :mod:`repro.obs` — the runtime observability plane: spans, metrics
+  registry, Perfetto trace export, provenance stamping.
 """
 
 __version__ = "1.0.0"
 
 __all__ = ["core", "switches", "net", "endhost", "collect", "session", "apps",
-           "baselines", "hardware", "stats"]
+           "baselines", "hardware", "stats", "obs"]

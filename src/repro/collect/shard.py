@@ -191,6 +191,25 @@ class CollectorShard:
                 merged[target] = summary_copy(submission.summary)
         return merged
 
+    def metrics(self) -> dict[str, int]:
+        """This shard's flush/drop accounting, by canonical metric name.
+
+        Pull-based observability face: the session layer registers gauges
+        over these (``collect.shard<i>.<name>``), read only at snapshot
+        time — intake and flush paths stay telemetry-free.
+        """
+        return {
+            "received": self.received,
+            "dropped": self.dropped,
+            "bytes_received": self.bytes_received,
+            "pending": len(self.pending),
+            "state_groups": len(self.state),
+            "flushes": self.flushes,
+            "batch_flushes": self.batch_flushes,
+            "epoch_flushes": self.epoch_flushes,
+            "stale_replaced": self.stale_replaced,
+        }
+
     # --------------------------------------------------------------- lifecycle
     def attach(self, sim, host, port: int, epoch_s: Optional[float] = None) -> None:
         """Bind this shard to a simulated end host (the network transport).

@@ -227,6 +227,14 @@ class TCPU:
         self.traces_compiled = 0
         self.trace_executions = 0
         self.trace_fallbacks = 0
+        # Cache-health telemetry: how often execute_program found its plan /
+        # bound trace already cached.  Plain int increments (one per hop) so
+        # the hot path never tests a telemetry flag; the session layer
+        # exposes them as pull-based gauges (see telemetry_counters()).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.trace_cache_hits = 0
+        self.trace_cache_misses = 0
         # Opcode dispatch table, built once; the per-instruction hot path is
         # a single dict lookup instead of an if-ladder.
         self._dispatch = {
@@ -253,6 +261,25 @@ class TCPU:
         # against one switch's MemoryInterface in practice, so this holds
         # one binding per program.
         self._trace_cache: dict[tuple, tuple] = {}
+
+    def telemetry_counters(self) -> dict[str, int]:
+        """This TCPU's execution/cache accounting, by canonical metric name.
+
+        The session layer sums these across every switch and exposes them
+        as pull-based gauges (``tcpu.<name>``) — observation is a read at
+        snapshot time, so registering telemetry never touches this hot path.
+        """
+        return {
+            "tpps_executed": self.tpps_executed,
+            "instructions_executed": self.instructions_executed,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "trace_cache_hits": self.trace_cache_hits,
+            "trace_cache_misses": self.trace_cache_misses,
+            "traces_compiled": self.traces_compiled,
+            "trace_executions": self.trace_executions,
+            "trace_fallbacks": self.trace_fallbacks,
+        }
 
     @property
     def write_enabled(self) -> bool:
@@ -295,7 +322,10 @@ class TCPU:
                    id(memory), *map(id, instructions))
             entry = self._trace_cache.get(key)
             if entry is None:
+                self.trace_cache_misses += 1
                 entry = self._bind_trace(tpp, memory, key)
+            else:
+                self.trace_cache_hits += 1
             fn = entry[0]
             if fn is not None:
                 self.trace_executions += 1
@@ -303,7 +333,10 @@ class TCPU:
             self.trace_fallbacks += 1
         key = (tpp.word_bytes, *map(id, instructions))
         plan = self._plan_cache.get(key)
-        if plan is None:
+        if plan is not None:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
             dispatch = self._dispatch
             # The steps pin the instruction objects, keeping the id key sound.
             plan = ([(dispatch[instruction.opcode], instruction)

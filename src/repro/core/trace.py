@@ -74,12 +74,23 @@ from .packet_format import AddressingMode
 from .static_analysis import trace_ineligibility
 from .tcpu import ExecutionResult, InstructionStatus
 
-__all__ = ["CompiledTrace", "compile_trace", "trace_eligible", "trace_ineligibility"]
+__all__ = ["CompiledTrace", "codegen_stats", "compile_trace", "trace_eligible",
+           "trace_ineligibility"]
 
 #: Process-wide codegen memo (templates are few; the bound guards tests that
 #: synthesize thousands of unique programs).
 _COMPILE_CACHE: dict[tuple, "CompiledTrace"] = {}
 _COMPILE_CACHE_LIMIT = 1024
+
+#: Codegen-memo health, process-wide (plain ints; repro.obs reads them as
+#: gauges).  Hits mean a program shape was lowered once and reused; misses
+#: count actual codegen+exec work, ineligible counts interpreter fallbacks.
+_CODEGEN_STATS = {"hits": 0, "misses": 0, "ineligible": 0}
+
+
+def codegen_stats() -> dict[str, int]:
+    """A snapshot of the process-wide codegen memo accounting."""
+    return dict(_CODEGEN_STATS)
 
 
 def trace_eligible(instructions: Sequence[Instruction]) -> bool:
@@ -149,9 +160,12 @@ def compile_trace(instructions: Sequence[Instruction], *, word_bytes: int,
     cache_key = (program, word_bytes, mode, hop_size, write_enabled)
     cached = _COMPILE_CACHE.get(cache_key)
     if cached is not None:
+        _CODEGEN_STATS["hits"] += 1
         return cached
     if trace_ineligibility(program) is not None:
+        _CODEGEN_STATS["ineligible"] += 1
         return None
+    _CODEGEN_STATS["misses"] += 1
     source = _generate_source(program, word_bytes=word_bytes, mode=mode,
                               hop_size=hop_size, write_enabled=write_enabled)
     namespace: dict = {

@@ -322,6 +322,22 @@ class Simulator:
         """Run until no events remain (bounded by ``max_events``)."""
         self.run(max_events=max_events)
 
+    # ----------------------------------------------------------- observability
+    def register_telemetry(self, telemetry, prefix: str = "sim") -> None:
+        """Register this simulator's health as pull-based gauges.
+
+        The gauges read existing counters at snapshot time only — the run
+        loop is untouched, so registering telemetry can never perturb the
+        event sequence (the repro.obs no-perturbation invariant).
+        """
+        metrics = telemetry.metrics
+        metrics.gauge(f"{prefix}.now_s", lambda: self._now)
+        metrics.gauge(f"{prefix}.events_executed", lambda: self._events_executed)
+        metrics.gauge(f"{prefix}.pending_events", lambda: self.pending_events)
+        metrics.gauge(f"{prefix}.heap_size", lambda: len(self._heap))
+        metrics.gauge(f"{prefix}.cancelled_events_pending",
+                      lambda: self._cancelled)
+
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         for _, _, event in self._heap:

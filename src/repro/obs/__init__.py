@@ -1,0 +1,32 @@
+"""repro.obs — the runtime observability plane.
+
+Spans, a typed metrics registry, Perfetto trace export, and provenance
+stamping for recorded artifacts.  A *sidecar* layer: nothing below the
+session layer imports it — engine components keep plain counters and the
+session layer registers gauges over them — and it must never perturb
+results (see :mod:`repro.obs.telemetry` for the two invariants).
+
+Quick start::
+
+    from repro import obs
+
+    telemetry = obs.Telemetry(slices=8)
+    with obs.use(telemetry):
+        result = scenario.run(duration_s=1.0)
+
+    result.telemetry                      # canonical metrics snapshot
+    telemetry.self_times()                # span name -> self wall-clock
+    obs.write_trace(telemetry, "run.json")  # load in ui.perfetto.dev
+"""
+
+from .perfetto import trace_events, write_trace
+from .provenance import config_fingerprint, provenance, stamp
+from .telemetry import (Counter, Gauge, Histogram, MetricsRegistry,
+                        NULL_TELEMETRY, Span, Telemetry, get_telemetry,
+                        set_telemetry, use)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_TELEMETRY",
+    "Span", "Telemetry", "config_fingerprint", "get_telemetry", "provenance",
+    "set_telemetry", "stamp", "trace_events", "use", "write_trace",
+]

@@ -1,0 +1,91 @@
+"""Chrome/Perfetto trace-event export for recorded telemetry spans.
+
+Renders a :class:`~repro.obs.telemetry.Telemetry`'s finished spans as the
+JSON object format both ``chrome://tracing`` and https://ui.perfetto.dev
+load: ``{"traceEvents": [...]}`` with one complete (``"ph": "X"``) event
+per span, timestamps in microseconds relative to the earliest span start.
+
+Tracks: stacked spans (the ``with telemetry.span(...)`` form) nest on the
+main track (tid 0) exactly as they nested at runtime.  Overlapping
+:meth:`~repro.obs.telemetry.Telemetry.interval` spans carry a ``track``
+label and each distinct label gets its own tid row, so the sweep pool's
+concurrent tasks render side by side instead of as bogus nesting.
+
+The shape emitted here is deliberately minimal — exactly what
+``tools/check_trace_schema.py`` validates in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .telemetry import Telemetry
+
+__all__ = ["trace_events", "write_trace"]
+
+#: The tid of the main (stacked-span) track.
+MAIN_TRACK_TID = 0
+
+
+def _jsonable_args(args: dict) -> dict:
+    """Span args as JSON-safe values (reprs for anything exotic)."""
+    safe: dict = {}
+    for key in sorted(args, key=str):
+        value = args[key]
+        if value is None or isinstance(value, (bool, int, float, str)):
+            safe[str(key)] = value
+        else:
+            safe[str(key)] = repr(value)
+    return safe
+
+
+def trace_events(telemetry: "Telemetry", *, pid: int = 1,
+                 process_name: str = "repro") -> list[dict]:
+    """The telemetry's finished spans as a trace-event list."""
+    finished = [span for span in telemetry.spans if span.end is not None]
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": MAIN_TRACK_TID,
+        "args": {"name": process_name},
+    }]
+    if not finished:
+        return events
+    origin = min(span.start for span in finished)
+    tids: dict[str, int] = {}
+    track_names: list[tuple[int, str]] = []
+    for span in finished:
+        if span.track is None:
+            tid = MAIN_TRACK_TID
+        else:
+            tid = tids.get(span.track)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[span.track] = tid
+                track_names.append((tid, span.track))
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": (span.start - origin) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": _jsonable_args(span.args),
+        })
+    for tid, track in track_names:
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": track}})
+    return events
+
+
+def write_trace(telemetry: "Telemetry", path: Union[str, Path], *,
+                pid: int = 1, process_name: str = "repro") -> dict:
+    """Write the trace-event JSON object to ``path``; returns the object."""
+    trace = {
+        "traceEvents": trace_events(telemetry, pid=pid,
+                                    process_name=process_name),
+        "displayTimeUnit": "ms",
+    }
+    Path(path).write_text(json.dumps(trace, indent=2) + "\n", encoding="utf-8")
+    return trace

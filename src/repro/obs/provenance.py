@@ -1,0 +1,91 @@
+"""Provenance stamping for recorded artifacts (BENCH_*.json and friends).
+
+A benchmark number without its environment is a rumor: the committed
+``BENCH_*.json`` artifacts carry a uniform ``provenance`` block so any two
+recorded runs can be compared knowing *what* ran *where*:
+
+* ``git_commit`` — the HEAD commit of the working tree the run came from
+  (``None`` outside a git checkout; ``dirty`` flags uncommitted changes),
+* ``python`` / ``implementation`` / ``platform`` / ``machine`` — the
+  interpreter and host,
+* ``hostname`` / ``cpu_count`` — where and how wide,
+* ``config_fingerprint`` — blake2b over the canonical JSON rendering of
+  the benchmark's workload configuration, so artifacts whose *inputs*
+  differ can never be mistaken for comparable runs.
+
+Everything degrades to ``None`` rather than raising — provenance must
+never be the reason a benchmark fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import socket
+import subprocess
+from typing import Any, Optional
+
+__all__ = ["config_fingerprint", "provenance", "stamp"]
+
+
+def config_fingerprint(config: Any) -> str:
+    """blake2b over the canonical JSON rendering of a config structure."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=repr)
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def _git(*args: str) -> Optional[str]:
+    try:
+        out = subprocess.run(["git", *args], capture_output=True, text=True,
+                             timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def git_commit() -> Optional[str]:
+    """The working tree's HEAD commit, ``"-dirty"``-suffixed when modified."""
+    commit = _git("rev-parse", "HEAD")
+    if not commit:
+        return None
+    status = _git("status", "--porcelain")
+    if status:
+        commit += "-dirty"
+    return commit
+
+
+def provenance(config: Any = None) -> dict:
+    """The uniform provenance block every recorded artifact carries."""
+    try:
+        hostname = socket.gethostname()
+    except OSError:  # pragma: no cover - defensive
+        hostname = None
+    block = {
+        "git_commit": git_commit(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "hostname": hostname,
+        "cpu_count": os.cpu_count(),
+    }
+    if config is not None:
+        block["config_fingerprint"] = config_fingerprint(config)
+    return block
+
+
+def stamp(artifact: dict, config: Any = None) -> dict:
+    """Attach a ``provenance`` block to ``artifact`` (in place) and return it.
+
+    ``config`` defaults to the artifact's own ``workload`` / ``config``
+    section when present, so most callers just ``stamp(artifact)``.
+    """
+    if config is None:
+        config = artifact.get("workload", artifact.get("config"))
+    artifact["provenance"] = provenance(config)
+    return artifact

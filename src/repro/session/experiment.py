@@ -17,6 +17,7 @@ sequences.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
@@ -29,6 +30,7 @@ from repro.endhost import (Aggregator, Collector, DeployedApplication,
                            install_stacks)
 from repro.net.sim import Simulator
 from repro.net.topology import BuiltTopology, Network
+from repro.obs import get_telemetry
 from repro.stats import TimeSeries
 
 from .registry import TOPOLOGIES, WORKLOADS
@@ -36,6 +38,7 @@ from .registry import TOPOLOGIES, WORKLOADS
 if TYPE_CHECKING:  # pragma: no cover
     from repro.endhost import EndHostStack
     from repro.net.node import Host
+    from repro.obs import Telemetry
 
     from .scenario import Scenario, TppSpec
 
@@ -99,15 +102,32 @@ class Experiment:
     * ``on_stop(fn)`` — register teardown callbacks (run LIFO at finish)
     """
 
-    def __init__(self, scenario: "Scenario", duration_s: Optional[float] = None) -> None:
+    def __init__(self, scenario: "Scenario", duration_s: Optional[float] = None,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.scenario = scenario
         self.duration_s = duration_s
         self.seed = scenario.seed
+        # Observability (repro.obs): explicit instance, else the ambient one
+        # (disabled unless installed via obs.use()).  Spans and metrics read
+        # wall-clock and existing counters only — never simulation state —
+        # so telemetry on/off/exporting is byte-identical (tests/test_obs.py).
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        with self.telemetry.span("experiment.build",
+                                 scenario=scenario.name or scenario.topology_name,
+                                 seed=scenario.seed):
+            self._build(scenario)
+        if self.telemetry.enabled:
+            self._register_metrics()
+
+    def _build(self, scenario: "Scenario") -> None:
+        span = self.telemetry.span
         self.rng = random.Random(scenario.seed)
         self.sim = Simulator()
-        builder = TOPOLOGIES.get(scenario.topology_name)
-        self.topology: BuiltTopology = builder(self.sim, **scenario.topology_kwargs)
-        self.network: Network = self.topology.network
+        with span("build.topology", topology=scenario.topology_name):
+            builder = TOPOLOGIES.get(scenario.topology_name)
+            self.topology: BuiltTopology = builder(self.sim,
+                                                   **scenario.topology_kwargs)
+            self.network: Network = self.topology.network
         if scenario.seed_ecmp:
             self._salt_ecmp_groups()
         if scenario.compile_traces:
@@ -117,12 +137,14 @@ class Experiment:
                 switch.compile_traces = True
 
         self.stacks: dict[str, "EndHostStack"] = {}
-        if scenario.install_stacks:
-            self.stacks = install_stacks(self.network, hosts=scenario.host_subset)
-            self.control_plane = next(iter(self.stacks.values())).control_plane \
-                if self.stacks else TPPControlPlane()
-        else:
-            self.control_plane = TPPControlPlane()
+        with span("build.stacks"):
+            if scenario.install_stacks:
+                self.stacks = install_stacks(self.network,
+                                             hosts=scenario.host_subset)
+                self.control_plane = next(iter(self.stacks.values())).control_plane \
+                    if self.stacks else TPPControlPlane()
+            else:
+                self.control_plane = TPPControlPlane()
 
         # Scratch/teardown state first: workload factories and setup hooks are
         # entitled to use extras and on_stop (see the class docstring).
@@ -136,23 +158,26 @@ class Experiment:
         self._plane_push_rounds = 0
         cspec = scenario.collector_spec
         if cspec is not None:
-            self.collect_plane = CollectPlane(
-                cspec.shards, transport=cspec.transport, epoch_s=cspec.epoch_s,
-                batch=cspec.batch, capacity=cspec.capacity,
-                shard_hosts=cspec.hosts, retain_submissions=cspec.retain)
-            self.collect_plane.attach(self.sim, self.network)
-            self.collect_plane.on_epoch(self._push_summaries)
+            with span("build.collect_plane", shards=cspec.shards):
+                self.collect_plane = CollectPlane(
+                    cspec.shards, transport=cspec.transport, epoch_s=cspec.epoch_s,
+                    batch=cspec.batch, capacity=cspec.capacity,
+                    shard_hosts=cspec.hosts, retain_submissions=cspec.retain)
+                self.collect_plane.attach(self.sim, self.network)
+                self.collect_plane.on_epoch(self._push_summaries)
 
         self.apps: dict[str, DeployedApplication] = {}
         self.collectors: dict[str, Collector] = {}
-        for spec in scenario.tpp_specs:
-            self._deploy_tpp(spec)
+        with span("build.tpps", apps=len(scenario.tpp_specs)):
+            for spec in scenario.tpp_specs:
+                self._deploy_tpp(spec)
 
         self.workloads: dict[str, Any] = {}
-        for wspec in scenario.workload_specs:
-            factory = WORKLOADS.get(wspec.workload) if isinstance(wspec.workload, str) \
-                else wspec.workload
-            self.workloads[wspec.name] = factory(self, **wspec.kwargs)
+        with span("build.workloads", workloads=len(scenario.workload_specs)):
+            for wspec in scenario.workload_specs:
+                factory = WORKLOADS.get(wspec.workload) \
+                    if isinstance(wspec.workload, str) else wspec.workload
+                self.workloads[wspec.name] = factory(self, **wspec.kwargs)
 
         # Fault plane (repro.faults): plan resolution and the remediation
         # loop draw from their own seeds, never self.rng — declaring an
@@ -161,9 +186,10 @@ class Experiment:
         self.remediation = None
         if scenario.fault_spec is not None:
             from repro.faults import FaultInjector
-            plan = scenario.fault_spec.resolve(self.network)
-            self.fault_injector = FaultInjector(self.network, plan)
-            self.fault_injector.schedule(self.sim)
+            with span("build.faults"):
+                plan = scenario.fault_spec.resolve(self.network)
+                self.fault_injector = FaultInjector(self.network, plan)
+                self.fault_injector.schedule(self.sim)
         if scenario.remediation_spec is not None:
             from repro.faults import RemediationController
             rspec = scenario.remediation_spec
@@ -180,8 +206,9 @@ class Experiment:
                 collector=collector)
             self.remediation.start()
 
-        for hook in scenario.setup_hooks:
-            hook(self)
+        with span("build.hooks", hooks=len(scenario.setup_hooks)):
+            for hook in scenario.setup_hooks:
+                hook(self)
 
     # ------------------------------------------------------------------ build
     def _salt_ecmp_groups(self) -> None:
@@ -256,25 +283,96 @@ class Experiment:
         """Register a teardown callback; callbacks run LIFO at :meth:`finish`."""
         self._stop_callbacks.append(callback)
 
+    # ------------------------------------------------------------ observability
+    def _register_metrics(self) -> None:
+        """Register pull-based gauges over the engine layers' counters.
+
+        Everything registered here is read at snapshot time only — the
+        simulator run loop, TCPU hot path, and shard intake never see the
+        registry, which is how the no-perturbation invariant holds.
+        """
+        from repro.core import trace as trace_engine
+
+        self.sim.register_telemetry(self.telemetry)
+        metrics = self.telemetry.metrics
+        for name in ("tpps_executed", "instructions_executed",
+                     "plan_cache_hits", "plan_cache_misses",
+                     "trace_cache_hits", "trace_cache_misses",
+                     "traces_compiled", "trace_executions", "trace_fallbacks"):
+            metrics.gauge(f"tcpu.{name}",
+                          functools.partial(self._tcpu_total, name))
+        for name in ("hits", "misses", "ineligible"):
+            metrics.gauge(f"trace.codegen_{name}",
+                          functools.partial(self._codegen_stat,
+                                            trace_engine.codegen_stats, name))
+        if self.collect_plane is not None:
+            metrics.gauge("collect.shards",
+                          lambda: self.collect_plane.shard_count)
+            for name in ("received", "dropped", "bytes_received", "pending",
+                         "state_groups", "flushes", "batch_flushes",
+                         "epoch_flushes", "stale_replaced"):
+                metrics.gauge(f"collect.{name}",
+                              functools.partial(self._collect_total, name))
+
+    def _tcpu_total(self, name: str) -> int:
+        return sum(switch.tcpu.telemetry_counters()[name]
+                   for switch in self.network.switches.values())
+
+    @staticmethod
+    def _codegen_stat(stats: Callable[[], dict], name: str) -> int:
+        return stats()[name]
+
+    def _collect_total(self, name: str) -> int:
+        return sum(shard.metrics()[name] for shard in self.collect_plane.shards)
+
     # ---------------------------------------------------------------- running
     def run(self, duration_s: Optional[float] = None, *,
             run_until_idle: bool = False) -> "ExperimentResult":
         """Drive the clock, then tear down and assemble the result."""
         if duration_s is None:
             duration_s = self.duration_s
-        if duration_s is not None:
-            self.duration_s = duration_s
-            self.sim.run(until=duration_s)
-        if run_until_idle:
-            # Quiesce every event source first, or the drain never goes idle.
-            self.network.stop_switch_processes()
-            self._stop_workloads()
-            if self.remediation is not None:
-                self.remediation.stop()        # the poll loop never idles
-            if self.collect_plane is not None:
-                self.collect_plane.stop()      # epoch clocks are event sources
-            self.sim.run_until_idle()
+        with self.telemetry.span("experiment.run", duration_s=duration_s):
+            if duration_s is not None:
+                self.duration_s = duration_s
+                self._drive(duration_s)
+            if run_until_idle:
+                # Quiesce every event source first, or the drain never goes idle.
+                self.network.stop_switch_processes()
+                self._stop_workloads()
+                if self.remediation is not None:
+                    self.remediation.stop()    # the poll loop never idles
+                if self.collect_plane is not None:
+                    self.collect_plane.stop()  # epoch clocks are event sources
+                with self.telemetry.span("engine.drain"):
+                    self.sim.run_until_idle()
         return self.finish()
+
+    def _drive(self, duration_s: float) -> None:
+        """Advance the clock to ``duration_s``, in telemetry slices if asked.
+
+        Slicing is pure observation: ``run(until=a); run(until=b)`` executes
+        the identical event sequence as ``run(until=b)`` (the heap is
+        untouched between calls), so per-slice event counts and heap depth
+        come for free without perturbing anything.
+        """
+        slices = self.telemetry.slices if self.telemetry.enabled else 0
+        if slices <= 1:
+            with self.telemetry.span("engine.run") as span:
+                self.sim.run(until=duration_s)
+            span.set(events=self.sim.events_executed)
+            return
+        events_hist = self.telemetry.metrics.histogram("sim.events_per_slice")
+        depth_hist = self.telemetry.metrics.histogram("sim.heap_depth_per_slice")
+        for index in range(slices):
+            target = duration_s if index == slices - 1 \
+                else duration_s * (index + 1) / slices
+            before = self.sim.events_executed
+            with self.telemetry.span("engine.slice", index=index) as span:
+                self.sim.run(until=target)
+            executed = self.sim.events_executed - before
+            span.set(events=executed)
+            events_hist.observe(executed)
+            depth_hist.observe(self.sim.heap_size)
 
     def _stop_workloads(self) -> None:
         """Stop workload generators that expose a ``stop()`` (idempotent)."""
@@ -290,6 +388,13 @@ class Experiment:
         """
         if self._result is not None:
             return self._result
+        with self.telemetry.span("experiment.finish"):
+            self._finish()
+        if self.telemetry.enabled:
+            self._result.telemetry = self.telemetry.snapshot()
+        return self._result
+
+    def _finish(self) -> None:
         self.network.stop_switch_processes()
         self._stop_workloads()
         if self.remediation is not None:
@@ -315,7 +420,6 @@ class Experiment:
                 self.remediation.push_summary(self.sim.now)
             self.collect_plane.flush_all()
         self._result = self._assemble_result()
-        return self._result
 
     def _assemble_result(self) -> "ExperimentResult":
         attached = bytes_added = completed = echoed = overhead = 0
@@ -449,6 +553,11 @@ class ExperimentResult:
     workloads: dict[str, Any] = field(default_factory=dict)
     extras: dict[str, Any] = field(default_factory=dict)
     experiment: Optional[Experiment] = None
+    # Observability side channel: the experiment's telemetry snapshot
+    # (metrics + span summary) when telemetry was enabled, else None.
+    # Deliberately excluded from every canonical artifact — see
+    # docs/ARCHITECTURE.md, "no-perturbation invariant".
+    telemetry: Optional[dict] = None
 
     # ----------------------------------------------------------- live handles
     @property

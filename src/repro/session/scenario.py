@@ -407,18 +407,25 @@ class Scenario:
                        f"have {[spec.name for spec in self.tpp_specs]}")
 
     # ---------------------------------------------------------------- running
-    def build(self, duration_s: Optional[float] = None) -> Experiment:
-        """Construct the live experiment without starting the clock."""
-        return Experiment(self, duration_s=duration_s)
+    def build(self, duration_s: Optional[float] = None,
+              telemetry=None) -> Experiment:
+        """Construct the live experiment without starting the clock.
+
+        ``telemetry`` is an optional :class:`repro.obs.Telemetry`; omitted,
+        the experiment uses the ambient one (disabled unless installed with
+        :func:`repro.obs.use`).
+        """
+        return Experiment(self, duration_s=duration_s, telemetry=telemetry)
 
     def run(self, duration_s: Optional[float] = 1.0, *,
-            run_until_idle: bool = False):
+            run_until_idle: bool = False, telemetry=None):
         """Build, simulate for ``duration_s``, tear down, return the result.
 
         Returns the :class:`ExperimentResult`, or whatever
         :meth:`map_result`'s mapper turns it into.
         """
-        result = self.build(duration_s).run(duration_s, run_until_idle=run_until_idle)
+        result = self.build(duration_s, telemetry=telemetry) \
+            .run(duration_s, run_until_idle=run_until_idle)
         if self._result_mapper is not None:
             return self._result_mapper(result)
         return result

@@ -333,6 +333,10 @@ class ResultSummary:
     counters: dict[str, int]
     app_summaries: dict[str, Any] = field(default_factory=dict)
     experiments: int = 1
+    # Observability side channel (repro.obs): the experiment's telemetry
+    # snapshot when one was enabled.  Never part of as_jsonable() — the
+    # canonical artifact must be byte-identical with telemetry on or off.
+    telemetry: Optional[dict] = None
 
     @classmethod
     def from_result(cls, result: "ExperimentResult") -> "ResultSummary":
@@ -361,7 +365,8 @@ class ResultSummary:
         return cls(scenario=result.scenario, topology=result.topology,
                    seed=result.seed, duration_s=result.duration_s,
                    end_time_s=result.end_time_s, counters=counters,
-                   app_summaries=app_summaries)
+                   app_summaries=app_summaries,
+                   telemetry=result.telemetry)
 
     # ------------------------------------------------------------ monoid face
     def bundle(self) -> "SummaryBundle":

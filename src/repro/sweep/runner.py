@@ -32,7 +32,6 @@ import base64
 import json
 import os
 import pickle
-import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -42,8 +41,9 @@ from typing import Callable, Optional, Sequence, Union
 
 import multiprocessing
 
-from repro.session import ResultSummary, ScenarioSpec
 from repro.collect import SummaryBundle, summary_jsonable
+from repro.obs import Telemetry
+from repro.session import ResultSummary, ScenarioSpec
 
 from .plan import SweepSpec, SweepTask
 
@@ -54,13 +54,20 @@ DONE, FAILED, TIMEOUT = "done", "failed", "timeout"
 
 
 def _execute_task(spec: ScenarioSpec, duration_s: Optional[float],
-                  run_until_idle: bool) -> ResultSummary:
+                  run_until_idle: bool,
+                  telemetry_slices: Optional[int] = None) -> ResultSummary:
     """Worker entry point: rebuild the scenario, run it, summarise.
 
     Module-level so the pool can import it; returns only the picklable
     :class:`ResultSummary` — live simulator state never crosses back.
+    ``telemetry_slices`` (not ``None``) runs the experiment under a
+    worker-local :class:`~repro.obs.Telemetry`, so the summary carries a
+    telemetry snapshot home — observation only, never part of the
+    canonical rendering.
     """
-    experiment = spec.to_scenario().build(duration_s)
+    telemetry = Telemetry(slices=telemetry_slices) \
+        if telemetry_slices is not None else None
+    experiment = spec.to_scenario().build(duration_s, telemetry=telemetry)
     result = experiment.run(duration_s, run_until_idle=run_until_idle)
     return ResultSummary.from_result(result)
 
@@ -125,6 +132,10 @@ class SweepManifest:
             entry["error"] = outcome.error
         if outcome.summary is not None:
             entry["summary"] = outcome.summary.as_jsonable()
+            if outcome.summary.telemetry is not None:
+                # Side channel only: worker telemetry rides next to (never
+                # inside) the canonical summary rendering.
+                entry["telemetry"] = outcome.summary.telemetry
             entry["pickle"] = base64.b64encode(
                 pickle.dumps(outcome.summary)).decode("ascii")
         self.tasks[outcome.fingerprint] = entry
@@ -275,6 +286,18 @@ class SweepRunner:
             workloads even when they were registered at runtime, e.g. from
             a test module).  Under ``"spawn"`` every registration must be
             importable from the spec's modules.
+        telemetry: the :class:`~repro.obs.Telemetry` the runner records its
+            own spans and per-task timing into (``sweep.run`` /
+            ``sweep.task``).  Timing and the per-task timeout both read
+            spans, so the runner *requires* a live instance: omitted — or
+            handed a disabled one — it builds a runner-local enabled
+            telemetry.  Runner-side accounting (``wall_s``) is part of the
+            runner's contract and still never touches canonical artifacts.
+        worker_telemetry: when True, every worker runs its experiment under
+            a fresh worker-local telemetry (``worker_slices`` engine
+            slices), and the resulting snapshot rides home on
+            ``ResultSummary.telemetry`` and into the manifest — next to,
+            never inside, the canonical summary rendering.
     """
 
     def __init__(self, *, workers: int = 1, duration_s: Optional[float] = 1.0,
@@ -282,7 +305,10 @@ class SweepRunner:
                  retries: int = 0,
                  manifest_dir: Union[str, Path, None] = None,
                  mp_context: Optional[str] = None,
-                 poll_s: float = 0.02) -> None:
+                 poll_s: float = 0.02,
+                 telemetry: Optional[Telemetry] = None,
+                 worker_telemetry: bool = False,
+                 worker_slices: int = 0) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if timeout_s is not None and timeout_s <= 0:
@@ -296,10 +322,20 @@ class SweepRunner:
         self.retries = retries
         self.manifest_dir = Path(manifest_dir) if manifest_dir is not None else None
         self.poll_s = poll_s
+        if telemetry is None or not telemetry.enabled:
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        self.worker_telemetry = worker_telemetry
+        self.worker_slices = worker_slices
         if mp_context is None:
             mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() \
                 else "spawn"
         self.mp_context = mp_context
+
+    @property
+    def _worker_slices(self) -> Optional[int]:
+        """The ``telemetry_slices`` argument workers receive (None = off)."""
+        return self.worker_slices if self.worker_telemetry else None
 
     # ------------------------------------------------------------------ entry
     def run(self, sweep: Union[SweepSpec, Sequence[SweepTask],
@@ -317,10 +353,14 @@ class SweepRunner:
             if self.manifest_dir is not None else None
         result = SweepResult(outcomes=[], workers=self.workers,
                              duration_s=self.duration_s)
-        started = time.perf_counter()
+        sweep_span = self.telemetry.interval("sweep.run", tasks=len(tasks),
+                                             workers=self.workers)
+        task_wall = self.telemetry.metrics.histogram("sweep.task_wall_s")
 
         def settle(outcome: TaskOutcome) -> None:
             result.outcomes.append(outcome)
+            if outcome.source == "run":
+                task_wall.observe(outcome.wall_s)
             if manifest is not None and outcome.source == "run":
                 manifest.record(outcome)
                 manifest.write(result.accounting())
@@ -347,7 +387,7 @@ class SweepRunner:
             else:
                 self._run_pool(pending_tasks, settle, result)
 
-        result.wall_s = time.perf_counter() - started
+        result.wall_s = sweep_span.finish().duration
         result.outcomes.sort(key=lambda outcome: outcome.index)
         if manifest is not None:
             manifest.write(result.accounting())
@@ -381,11 +421,15 @@ class SweepRunner:
             attempts = 0
             while True:
                 attempts += 1
-                begun = time.perf_counter()
+                span = self.telemetry.interval("sweep.task", label=task.label,
+                                               attempt=attempts)
                 try:
                     summary = _execute_task(task.spec, self.duration_s,
-                                            self.run_until_idle)
+                                            self.run_until_idle,
+                                            self._worker_slices)
                 except Exception as exc:               # noqa: BLE001 - accounted
+                    span.set(status=FAILED)
+                    span.finish()
                     if attempts <= self.retries:
                         continue
                     settle(TaskOutcome(
@@ -393,12 +437,14 @@ class SweepRunner:
                         fingerprint=task.fingerprint, status=FAILED,
                         error=f"{type(exc).__name__}: {exc}",
                         attempts=attempts,
-                        wall_s=time.perf_counter() - begun))
+                        wall_s=span.duration))
                     break
+                span.set(status=DONE)
+                span.finish()
                 settle(TaskOutcome(index=task.index, label=task.label,
                                    fingerprint=task.fingerprint, status=DONE,
                                    summary=summary, attempts=attempts,
-                                   wall_s=time.perf_counter() - begun))
+                                   wall_s=span.duration))
                 break
 
     # ------------------------------------------------------------------- pool
@@ -422,7 +468,7 @@ class SweepRunner:
                   result: SweepResult) -> None:
         queue = deque((task, 0) for task in tasks)    # (task, attempts so far)
         executor = self._make_executor()
-        inflight: dict = {}                 # future -> (task, attempts, t0)
+        inflight: dict = {}                 # future -> (task, attempts, span)
         # Tasks in flight when a pool broke with >1 task running: the crash
         # cannot be attributed, so they re-run one at a time (window of 1)
         # until each either settles or breaks the pool alone.
@@ -434,21 +480,28 @@ class SweepRunner:
                     task, attempts = queue.popleft()
                     future = executor.submit(_execute_task, task.spec,
                                              self.duration_s,
-                                             self.run_until_idle)
-                    inflight[future] = (task, attempts + 1, time.perf_counter())
+                                             self.run_until_idle,
+                                             self._worker_slices)
+                    # interval(), not span(): pool tasks overlap, and each
+                    # task's track gets its own exporter row.
+                    inflight[future] = (task, attempts + 1, self.telemetry.interval(
+                        "sweep.task", track=f"task:{task.label}",
+                        label=task.label, attempt=attempts + 1))
 
                 done, _ = wait(list(inflight), timeout=self.poll_s,
                                return_when=FIRST_COMPLETED)
                 crashed: list = []          # (task, attempts, wall) from break
                 for future in done:
-                    task, attempts, t0 = inflight.pop(future)
-                    wall = time.perf_counter() - t0
+                    task, attempts, span = inflight.pop(future)
+                    wall = span.finish().duration
                     try:
                         summary = future.result()
                     except BrokenProcessPool:
+                        span.set(status="crashed")
                         crashed.append((task, attempts, wall))
                         continue
                     except Exception as exc:           # noqa: BLE001 - accounted
+                        span.set(status=FAILED)
                         suspects.discard(task.fingerprint)
                         if attempts <= self.retries:
                             result.retries += 1
@@ -460,6 +513,7 @@ class SweepRunner:
                                 error=f"{type(exc).__name__}: {exc}",
                                 attempts=attempts, wall_s=wall))
                         continue
+                    span.set(status=DONE)
                     suspects.discard(task.fingerprint)
                     settle(TaskOutcome(index=task.index, label=task.label,
                                        fingerprint=task.fingerprint,
@@ -471,10 +525,11 @@ class SweepRunner:
                     result.worker_crashes += 1
                     # Every task on the broken pool is a casualty: the ones
                     # whose futures raised plus the ones still in flight.
-                    casualties = crashed + [(task, attempts,
-                                             time.perf_counter() - t0)
-                                            for task, attempts, t0
-                                            in inflight.values()]
+                    casualties = list(crashed)
+                    for task, attempts, span in inflight.values():
+                        span.set(status="casualty")
+                        casualties.append((task, attempts,
+                                           span.finish().duration))
                     inflight.clear()
                     if len(casualties) == 1:
                         # Alone on the pool: definitively the crasher.
@@ -497,16 +552,16 @@ class SweepRunner:
                             queue.appendleft((task, attempts - 1))
 
                 if self.timeout_s is not None and not restart:
-                    now = time.perf_counter()
-                    expired = [future for future, (_, _, t0) in inflight.items()
-                               if now - t0 > self.timeout_s]
+                    expired = [future for future, (_, _, span) in inflight.items()
+                               if span.elapsed > self.timeout_s]
                     for future in expired:
-                        task, attempts, t0 = inflight.pop(future)
+                        task, attempts, span = inflight.pop(future)
+                        span.set(status=TIMEOUT)
                         settle(TaskOutcome(
                             index=task.index, label=task.label,
                             fingerprint=task.fingerprint, status=TIMEOUT,
                             error=f"exceeded {self.timeout_s}s budget",
-                            attempts=attempts, wall_s=now - t0))
+                            attempts=attempts, wall_s=span.finish().duration))
                         if not future.cancel():
                             # The task is running on a worker we cannot
                             # preempt: the whole pool is torn down below and
@@ -516,7 +571,9 @@ class SweepRunner:
                 if restart:
                     # Victim tasks (in flight on the dead pool through no
                     # fault of their own) re-queue without consuming retries.
-                    for future, (task, attempts, _) in inflight.items():
+                    for future, (task, attempts, span) in inflight.items():
+                        span.set(status="requeued")
+                        span.finish()
                         queue.append((task, attempts - 1))
                     inflight.clear()
                     self._terminate(executor)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON file's minimal schema.
+
+The exporter (:mod:`repro.obs.perfetto`) emits the *JSON Object Format*:
+a top-level object with a ``traceEvents`` list of ``"X"`` (complete) and
+``"M"`` (metadata) events.  This checker pins the subset the repo relies
+on, so CI catches a malformed export before anyone loads it into
+https://ui.perfetto.dev:
+
+* the top level is an object with a ``traceEvents`` list;
+* every event is an object with string ``ph`` and ``name``, and integer
+  ``pid`` / ``tid``;
+* ``"X"`` events carry finite numeric ``ts`` and ``dur >= 0``, and
+  ``args`` (when present) is an object;
+* ``"M"`` events name a known metadata record (``process_name`` /
+  ``thread_name``) and carry a ``name`` arg inside ``args``;
+* no other phases are emitted.
+
+Exit status 0 when the file validates, 1 otherwise (one
+``file: message`` line per violation).  Importable too:
+:func:`validate_trace` returns the violation list for a loaded object.
+
+Usage::
+
+    python tools/check_trace_schema.py trace.json [more.json ...]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: The only phases the exporter emits.
+ALLOWED_PHASES = {"X", "M"}
+
+#: The metadata records the exporter emits.
+ALLOWED_METADATA = {"process_name", "thread_name"}
+
+
+def _is_finite_number(value) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def validate_trace(trace) -> list[str]:
+    """Every schema violation in a loaded trace object (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level must have a 'traceEvents' list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            errors.append(f"{where}: ph must be one of "
+                          f"{sorted(ALLOWED_PHASES)}, got {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: name must be a string")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int) \
+                    or isinstance(event.get(field), bool):
+                errors.append(f"{where}: {field} must be an integer")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            errors.append(f"{where}: args must be an object")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                if not _is_finite_number(event.get(field)):
+                    errors.append(f"{where}: X event needs finite "
+                                  f"numeric {field}")
+            if _is_finite_number(event.get("dur")) and event["dur"] < 0:
+                errors.append(f"{where}: dur must be >= 0")
+        else:                                   # "M"
+            if event.get("name") not in ALLOWED_METADATA:
+                errors.append(f"{where}: metadata name must be one of "
+                              f"{sorted(ALLOWED_METADATA)}")
+            if not isinstance(args, dict) \
+                    or not isinstance(args.get("name"), str):
+                errors.append(f"{where}: metadata needs args.name string")
+    return errors
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        trace = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    return validate_trace(trace)
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_trace_schema.py trace.json [more.json ...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for name in argv:
+        path = Path(name)
+        problems = check_file(path)
+        for problem in problems:
+            print(f"{path}: {problem}")
+            failed = True
+        if not problems:
+            events = json.loads(path.read_text(encoding="utf-8"))["traceEvents"]
+            print(f"{path}: OK ({len(events)} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
