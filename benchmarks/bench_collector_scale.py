@@ -17,6 +17,12 @@ benchmark locks both halves of that claim in:
   :class:`~repro.collect.CollectPlane` at each shard count, measuring
   front-door submissions/sec and the wall cost of the global ``merge()``.
   Merged totals are asserted equal across shard counts here too.
+* **Delta vs cumulative** — the same synthetic hosts re-push their
+  snapshots in a steady-state pattern (only ~1/8 of hosts change per
+  round) through one cumulative and one delta-encoded plane.  The two
+  merged views must render to byte-identical canonical JSON, and the
+  delta plane must route strictly fewer bytes; both byte totals are
+  recorded in the artifact.
 
 The results are recorded in a JSON artifact (``BENCH_collector_scale.json``
 by default) so the repo carries the measured run next to the code.
@@ -172,6 +178,72 @@ def throughput_sweep(shard_counts, hosts: int, keys: int, rounds: int) -> list[d
     return rows
 
 
+# ------------------------------------------------------- delta vs cumulative
+STEADY_STRIDE = 8
+
+
+def delta_leg(shards: int, hosts: int, keys: int, rounds: int) -> dict:
+    """Steady-state re-push through cumulative and delta planes.
+
+    Every host submits its snapshot every round, but only hosts whose index
+    matches the round (mod :data:`STEADY_STRIDE`) have new data — the
+    workload shape where epoch diffs earn their keep.  The merged views
+    must be byte-identical; the delta plane must route strictly fewer
+    bytes.
+    """
+    rows = []
+    reference_view = None
+    for mode in ("cumulative", "delta"):
+        plane = CollectPlane(shards, batch=128, capacity=1 << 30,
+                             delta=(mode == "delta"))
+        door = plane.front_door("bench")
+        states = {host_index: synthetic_summary(host_index, keys, 0)
+                  for host_index in range(hosts)}
+        for round_index in range(1, rounds + 1):
+            for host_index in range(hosts):
+                if host_index % STEADY_STRIDE == round_index % STEADY_STRIDE:
+                    states[host_index] = synthetic_summary(host_index, keys,
+                                                           round_index)
+                door.submit(f"host{host_index}", states[host_index],
+                            time=float(round_index))
+        merged = plane.merge()
+        view = json.dumps({f"{app}/{key}": summary_jsonable(s)
+                           for (app, key), s in merged.items()}, sort_keys=True)
+        if reference_view is None:
+            reference_view = view
+        assert view == reference_view, \
+            "delta-encoded merged view diverged from cumulative"
+        stats = plane.stats()
+        if mode == "delta":
+            assert stats.delta_applied > 0, "delta plane never applied a diff"
+            assert stats.delta_gaps == 0, \
+                f"{stats.delta_gaps} delta gaps on a lossless transport"
+        rows.append({
+            "mode": mode,
+            "bytes_routed": stats.bytes_routed,
+            "parts_routed": stats.parts_routed,
+            "delta_applied": stats.delta_applied,
+            "delta_gaps": stats.delta_gaps,
+        })
+        print(f"  {mode}: {stats.bytes_routed:,} bytes routed "
+              f"({stats.parts_routed} parts) — merged view identical")
+    cumulative_bytes = rows[0]["bytes_routed"]
+    delta_bytes = rows[1]["bytes_routed"]
+    assert delta_bytes < cumulative_bytes, \
+        f"delta encoding routed {delta_bytes:,} bytes >= " \
+        f"cumulative's {cumulative_bytes:,} on a steady-state workload"
+    ratio = delta_bytes / cumulative_bytes
+    print(f"  delta/cumulative byte ratio: {ratio:.3f}")
+    return {
+        "shards": shards,
+        "hosts": hosts, "keys": keys, "rounds": rounds,
+        "steady_stride": STEADY_STRIDE,
+        "runs": rows,
+        "bytes_ratio": ratio,
+        "merged_view_identical": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -206,6 +278,11 @@ def main() -> None:
     print(f"throughput: {hosts} hosts x {keys} keys x {rounds} rounds, "
           f"shard counts {args.shards}")
     throughput = throughput_sweep(args.shards, hosts, keys, rounds)
+    delta_shards = max(args.shards)
+    print(f"delta vs cumulative: {hosts} hosts x {keys} keys x {rounds} "
+          f"rounds at {delta_shards} shard(s), 1/{STEADY_STRIDE} of hosts "
+          f"changing per round")
+    delta = delta_leg(delta_shards, hosts, keys, rounds)
 
     artifact = {
         "benchmark": "bench_collector_scale",
@@ -223,6 +300,7 @@ def main() -> None:
             "hosts": hosts, "keys": keys, "rounds": rounds,
             "runs": throughput,
         },
+        "delta_vs_cumulative": delta,
     }
     _provenance.write_artifact(artifact, args.output)
     print(f"artifact written: {args.output}")

@@ -92,6 +92,13 @@ class BitmapSketch:
     def memory_bytes(self) -> int:
         return len(self.bitmap)
 
+    def as_dict(self) -> dict:
+        """Canonical content view (bitmap as hex), for byte-level
+        comparison through ``repro.collect.summary_jsonable`` — the
+        default object repr would embed a memory address."""
+        return {"type": "bitmap-sketch", "bits": self.bits,
+                "salt": self.salt, "bitmap": bytes(self.bitmap).hex()}
+
 
 @dataclass(frozen=True)
 class LinkKey:

@@ -5,9 +5,18 @@ on commutative aggregation operators to make sharding semantics-free.
 This package is that deployment model, reproduced:
 
 * :mod:`repro.collect.summary` — the :class:`MergeableSummary` protocol and
-  the concrete monoids (counter, histogram, top-k, series) aggregators emit;
+  the concrete monoids (counter, histogram, top-k, series) aggregators
+  emit, each registered in :data:`SUMMARY_TYPES` so the generated
+  commutativity suite can enumerate them;
+* :mod:`repro.collect.delta` — the delta-channel wire format: per-source
+  epoch diffs with sequence numbers and cumulative-resync fallback;
 * :mod:`repro.collect.shard` — :class:`CollectorShard` end-host services
-  with batching, per-epoch flushes, and backpressure/drop accounting;
+  with batching, per-epoch flushes, delta replay, and explicit
+  backpressure/load-shedding policies (:class:`ShedSpec`) with per-policy
+  drop accounting;
+* :mod:`repro.collect.tree` — the shard → rack → root aggregation tree
+  (:class:`AggregationNode` / :func:`build_tree`), semantics-free by the
+  monoid laws;
 * :mod:`repro.collect.virtual` — the :class:`VirtualCollector` front door
   and :class:`CollectPlane`, which consistently hash (app, host, key)
   across the tier and reconstruct the global view with an
@@ -19,16 +28,25 @@ substrate, so the end-host layer can emit its summary types without
 circular imports.
 """
 
-from .shard import COLLECT_UDP_PORT_BASE, CollectorShard, Submission, summary_wire_bytes
+from .delta import (DeltaChannel, DeltaDecoder, SummaryDelta,
+                    delta_wire_bytes)
+from .shard import (COLLECT_UDP_PORT_BASE, CollectorShard, SHED_POLICIES,
+                    ShedSpec, Submission, summary_wire_bytes)
 from .summary import (CounterSummary, HistogramSummary, MergeableSummary,
-                      SeriesSummary, SummaryBundle, TopKSummary,
-                      merge_summaries, summary_copy, summary_jsonable)
-from .virtual import CollectPlane, PlaneStats, TRANSPORTS, VirtualCollector, shard_index
+                      SUMMARY_TYPES, SeriesSummary, SummaryBundle,
+                      TopKSummary, merge_summaries, register_summary,
+                      summary_copy, summary_jsonable)
+from .tree import AggregationNode, TreeSpec, build_tree
+from .virtual import (CollectPlane, PlaneStats, TRANSPORTS, VirtualCollector,
+                      shard_index)
 
 __all__ = [
-    "COLLECT_UDP_PORT_BASE", "CollectPlane", "CollectorShard", "CounterSummary",
-    "HistogramSummary", "MergeableSummary", "PlaneStats", "SeriesSummary",
-    "Submission", "SummaryBundle", "TRANSPORTS", "TopKSummary",
-    "VirtualCollector", "merge_summaries", "shard_index", "summary_copy",
-    "summary_jsonable", "summary_wire_bytes",
+    "AggregationNode", "COLLECT_UDP_PORT_BASE", "CollectPlane",
+    "CollectorShard", "CounterSummary", "DeltaChannel", "DeltaDecoder",
+    "HistogramSummary", "MergeableSummary", "PlaneStats", "SHED_POLICIES",
+    "SUMMARY_TYPES", "SeriesSummary", "ShedSpec", "Submission",
+    "SummaryBundle", "SummaryDelta", "TRANSPORTS", "TopKSummary", "TreeSpec",
+    "VirtualCollector", "build_tree", "delta_wire_bytes", "merge_summaries",
+    "register_summary", "shard_index", "summary_copy", "summary_jsonable",
+    "summary_wire_bytes",
 ]

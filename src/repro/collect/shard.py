@@ -12,32 +12,46 @@ or as UDP summary packets delivered by the simulated network, and:
   and at finish — the deferred mode),
 * **flushes on epochs** when attached to a simulator with an epoch period
   (the fold runs at every epoch boundary regardless of batch fill),
-* **drops under backpressure** — submissions arriving while the buffer is
-  at ``capacity`` are counted in ``dropped`` and discarded, mirroring a
-  real collector shedding load instead of stalling the network.  Note the
-  interplay with batching: a synchronous batch fold empties the buffer at
-  ``batch`` entries, so the bound only bites when folding is deferred
-  (``batch=None``) or ``capacity < batch`` — and
+* **sheds under backpressure** via an explicit :class:`ShedSpec` policy —
+  submissions arriving while the buffer is at ``capacity`` either evict a
+  queued entry or are rejected, and every shed is accounted in ``dropped``
+  *and* broken down in ``drops_by_policy`` (mirroring
+  ``repro.net.port.Port.drops_by_reason``).  The accounting identity —
+  ``submitted == delivered + dropped + len(pending)`` — holds at every
+  instant, under every policy (property-tested).  Note the interplay with
+  batching: a synchronous batch fold empties the buffer at ``batch``
+  entries, so the bound only bites when folding is deferred
+  (``batch=None``) or ``capacity < batch``,
+* **replays delta channels**: submissions carrying a
+  :class:`~repro.collect.delta.SummaryDelta` are decoded at fold time
+  through the shard's :class:`~repro.collect.delta.DeltaDecoder`; a unit
+  arriving out of sequence is a gap — discarded, counted under the
+  ``"delta-gap"`` drop reason, and queued for cumulative resync — and
 * keeps **last-writer-wins state per (app, host, key)**: aggregator
-  summaries are cumulative snapshots, so the newest submission (by
-  ``(time, seq)``) from a source replaces its predecessor rather than
-  double-counting it.  Because the front door routes a given
-  (app, host, key) to the same shard at any shard count, this rule is
-  shard-count invariant.
+  summaries are cumulative snapshots (reconstructed ones included), so the
+  newest submission (by ``(time, seq)``) from a source replaces its
+  predecessor rather than double-counting it.  Because the front door
+  routes a given (app, host, key) to the same shard at any shard count,
+  this rule is shard-count invariant.
 
 :meth:`merged_view` folds the retained snapshots across hosts into this
-shard's partial global view — the commutative merge that
-:meth:`repro.collect.virtual.CollectPlane.merge` completes across shards.
+shard's partial global view — the commutative merge completed across
+shards by :meth:`repro.collect.virtual.CollectPlane.merge` (flat or via
+the :mod:`~repro.collect.tree` aggregation tree).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from dataclasses import dataclass, replace as _replace
+from typing import Any, Optional, Union
 
 from repro.net.packet import Packet
 
+from .delta import DeltaDecoder, SummaryDelta, summary_wire_bytes
 from .summary import _canonical_key, summary_copy
+
+__all__ = ["COLLECT_UDP_PORT_BASE", "CollectorShard", "SHED_POLICIES",
+           "ShedSpec", "Submission", "summary_wire_bytes"]
 
 #: Base UDP destination port for summary packets; shard ``i`` listens on
 #: ``COLLECT_UDP_PORT_BASE + i`` so shards sharing a host stay distinct.
@@ -45,6 +59,54 @@ COLLECT_UDP_PORT_BASE = 0x6668
 
 #: Fixed per-submission envelope estimate (addresses, app id, key, time).
 _ENVELOPE_BYTES = 32
+
+#: Registered load-shedding policies, in menu order.
+SHED_POLICIES = ("drop-newest", "drop-oldest", "sample", "priority-keys")
+
+#: Drop reason used for delta units discarded on sequence gaps.
+DELTA_GAP_REASON = "delta-gap"
+
+
+@dataclass(frozen=True)
+class ShedSpec:
+    """Backpressure policy for a full shard buffer (sweepable knobs).
+
+    * ``drop-newest`` — reject the arriving submission (tail drop; the
+      pre-existing behaviour and the default).
+    * ``drop-oldest`` — evict the oldest queued submission to admit the
+      new one (freshest-data-wins, the natural fit for cumulative
+      snapshots).
+    * ``sample`` — admit one arriving submission in ``sample_stride``
+      (by front-door sequence, so the choice is deterministic), evicting
+      the oldest to make room; reject the rest.
+    * ``priority-keys`` — evict the oldest queued submission whose part
+      key is *not* in ``priority``; when everything queued is priority
+      traffic, admit only priority arrivals (evicting the oldest).
+    """
+
+    policy: str = "drop-newest"
+    sample_stride: int = 2
+    priority: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.policy not in SHED_POLICIES:
+            raise ValueError(f"unknown shed policy {self.policy!r}; "
+                             f"choose from {SHED_POLICIES}")
+        if self.sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+        object.__setattr__(self, "priority", tuple(self.priority))
+
+
+def as_shed_spec(shed: Union[str, ShedSpec, None]) -> ShedSpec:
+    """Normalise the scenario-facing knob: name, spec, or None (default)."""
+    if shed is None:
+        return ShedSpec()
+    if isinstance(shed, str):
+        return ShedSpec(policy=shed)
+    if isinstance(shed, ShedSpec):
+        return shed
+    raise TypeError(f"shed must be a policy name or a ShedSpec; "
+                    f"got {type(shed).__name__}")
 
 
 @dataclass(frozen=True)
@@ -56,7 +118,7 @@ class Submission:
     app: str                    # owning application name
     host: str                   # submitting host
     key: Any                    # part key ("" for whole-summary submissions)
-    summary: Any                # the mergeable payload
+    summary: Any                # the mergeable payload (or a SummaryDelta)
 
     @property
     def group(self) -> tuple:
@@ -64,36 +126,12 @@ class Submission:
         return (self.app, self.host, self.key)
 
 
-def summary_wire_bytes(summary: Any) -> int:
-    """Rough on-wire size of one summary payload, for packet sizing.
-
-    Heuristic by shape: counters cost ~12 B/entry, histogram bins 8 B,
-    top-k entries 16 B, series samples 12 B, bitmap sketches their bitmap;
-    bundles sum their parts.  Unknown shapes charge a flat 64 B.
-    """
-    parts = getattr(summary, "parts", None)
-    if parts is not None:
-        return sum(summary_wire_bytes(part) for part in parts.values())
-    counts = getattr(summary, "counts", None)
-    if counts is not None:
-        return 12 * max(1, len(counts))
-    bins = getattr(summary, "bins", None)
-    if bins is not None:
-        return 8 * len(bins)
-    samples = getattr(summary, "samples", None)
-    if samples is not None:
-        return 12 * max(1, len(samples))
-    memory = getattr(summary, "memory_bytes", None)
-    if callable(memory):
-        return int(memory())
-    return 64
-
-
 class CollectorShard:
-    """One shard of the collection tier: batch, fold, flush, account."""
+    """One shard of the collection tier: batch, fold, flush, shed, account."""
 
     def __init__(self, index: int, *, batch: Optional[int] = 64,
-                 capacity: int = 4096, name: Optional[str] = None) -> None:
+                 capacity: int = 4096, name: Optional[str] = None,
+                 shed: Union[str, ShedSpec, None] = None) -> None:
         if batch is not None and batch < 1:
             raise ValueError("batch must be >= 1 (or None to fold only on "
                              "epoch/finish flushes)")
@@ -103,16 +141,23 @@ class CollectorShard:
         self.name = name if name is not None else f"shard{index}"
         self.batch = batch
         self.capacity = capacity
+        self.shed = as_shed_spec(shed)
         self.pending: list[Submission] = []
         # (app, host, key) -> newest Submission from that source.
         self.state: dict[tuple, Submission] = {}
+        # Delta-channel replay state (used only when deltas arrive).
+        self.decoder = DeltaDecoder()
         # Network attachment (None while the shard runs inline-only).
         self.host_name: Optional[str] = None
         self.port: Optional[int] = None
         self._flush_process = None
-        # Accounting.
-        self.received = 0
-        self.dropped = 0
+        # Accounting.  Invariant at every instant:
+        #   submitted == delivered + dropped + len(pending)
+        self.submitted = 0          # every arrival at ingest()
+        self.received = 0           # arrivals admitted into the buffer
+        self.delivered = 0          # submissions folded into merged state
+        self.dropped = 0            # shed at admission, evicted, or gapped
+        self.drops_by_policy: dict[str, int] = {}
         self.bytes_received = 0
         self.flushes = 0
         self.batch_flushes = 0
@@ -122,8 +167,9 @@ class CollectorShard:
     # ------------------------------------------------------------------ intake
     def ingest(self, submission: Submission) -> bool:
         """Accept one submission into the batch buffer; False on drop."""
-        if len(self.pending) >= self.capacity:
-            self.dropped += 1
+        self.submitted += 1
+        if len(self.pending) >= self.capacity and not self._make_room(submission):
+            self._count_drop(self.shed.policy)
             return False
         self.received += 1
         self.bytes_received += _ENVELOPE_BYTES + summary_wire_bytes(submission.summary)
@@ -131,6 +177,42 @@ class CollectorShard:
         if self.batch is not None and len(self.pending) >= self.batch:
             self.flush(kind="batch")
         return True
+
+    def _make_room(self, incoming: Submission) -> bool:
+        """Apply the shed policy to a full buffer; True admits ``incoming``.
+
+        Evictions are charged to this shard's ``dropped`` (the evicted
+        submission was already counted ``received``, and will now never be
+        delivered), keeping the accounting identity exact.
+        """
+        policy = self.shed.policy
+        if policy == "drop-oldest":
+            self._evict(0)
+            return True
+        if policy == "sample":
+            if incoming.seq % self.shed.sample_stride:
+                return False
+            self._evict(0)
+            return True
+        if policy == "priority-keys":
+            priority = self.shed.priority
+            for position, queued in enumerate(self.pending):
+                if queued.key not in priority:
+                    self._evict(position)
+                    return True
+            if incoming.key in priority:
+                self._evict(0)
+                return True
+            return False
+        return False                        # drop-newest: reject the arrival
+
+    def _evict(self, position: int) -> None:
+        del self.pending[position]
+        self._count_drop(self.shed.policy)
+
+    def _count_drop(self, reason: str) -> None:
+        self.dropped += 1
+        self.drops_by_policy[reason] = self.drops_by_policy.get(reason, 0) + 1
 
     def ingest_packet(self, packet: Packet) -> int:
         """Network intake: unpack a summary packet's submissions."""
@@ -148,6 +230,9 @@ class CollectorShard:
 
         An empty buffer is a no-op (and not counted), so the flush
         statistics report folds actually performed, not scheduler ticks.
+        Delta submissions are decoded here, in arrival order: the decoder
+        reconstructs the source's cumulative snapshot, which then enters
+        last-writer-wins state exactly as a cumulative submission would.
         """
         if not self.pending:
             return 0
@@ -156,9 +241,17 @@ class CollectorShard:
             self.batch_flushes += 1
         elif kind == "epoch":
             self.epoch_flushes += 1
-        folded = len(self.pending)
+        folded = 0
         state = self.state
         for submission in self.pending:
+            if isinstance(submission.summary, SummaryDelta):
+                decoded = self.decoder.decode(submission.group,
+                                              submission.summary)
+                if decoded is None:         # gap: discarded, resync queued
+                    self._count_drop(DELTA_GAP_REASON)
+                    continue
+                submission = _replace(submission, summary=decoded)
+            folded += 1
             group = submission.group
             current = state.get(group)
             if current is None:
@@ -167,8 +260,13 @@ class CollectorShard:
                 state[group] = submission
                 self.stale_replaced += 1
             # else: an older snapshot arrived late; the newer one stands.
+        self.delivered += folded
         self.pending.clear()
         return folded
+
+    def take_resync_requests(self) -> list[tuple]:
+        """Drain the delta channels awaiting a cumulative resync (NACKs)."""
+        return self.decoder.take_resyncs()
 
     def merged_view(self) -> dict[tuple, Any]:
         """This shard's partial global view: (app, key) -> merged summary.
@@ -199,7 +297,9 @@ class CollectorShard:
         time — intake and flush paths stay telemetry-free.
         """
         return {
+            "submitted": self.submitted,
             "received": self.received,
+            "delivered": self.delivered,
             "dropped": self.dropped,
             "bytes_received": self.bytes_received,
             "pending": len(self.pending),
@@ -208,6 +308,9 @@ class CollectorShard:
             "batch_flushes": self.batch_flushes,
             "epoch_flushes": self.epoch_flushes,
             "stale_replaced": self.stale_replaced,
+            "delta_applied": self.decoder.applied,
+            "delta_gaps": self.decoder.gaps,
+            "delta_resyncs": self.decoder.resyncs,
         }
 
     # --------------------------------------------------------------- lifecycle

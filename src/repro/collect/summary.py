@@ -38,13 +38,43 @@ associative, so different shard partitions may disagree in the last ulp.
 If you need canonical merged views over float summaries, quantise on
 observation (e.g. round to a fixed decimal) or carry the addends in a
 :class:`SeriesSummary` and reduce at the end.
+
+Delta encoding (:mod:`repro.collect.delta`) adds a second pair of verbs to
+every registered monoid: ``current.diff(prev)`` renders the change between
+two snapshots of the same source as a compact payload, and
+``state.apply_delta(payload)`` replays it.  Diffs carry *absolute* new
+values for the entries that changed (never arithmetic differences), so
+``apply(diff(a, b)) == b`` holds exactly — floats included — and a delta
+stream reconstructs the cumulative snapshot byte-identically.  A type that
+cannot express a particular transition (e.g. a series that lost samples)
+raises ``ValueError`` from ``diff`` and the channel falls back to a full
+cumulative re-send.
+
+Every concrete monoid registers itself in :data:`SUMMARY_TYPES` via
+:func:`register_summary`; the Commuter-style generated test suite
+(``tools/gen_merge_cases.py`` + ``tests/test_merge_commuter.py``)
+enumerates this registry and machine-checks the algebra for every member.
 """
 
 from __future__ import annotations
 
 import copy as _copy
 from bisect import bisect_left
+from collections import Counter as _Counter
+from fractions import Fraction
 from typing import Any, Iterable, Iterator, Optional, Protocol, runtime_checkable
+
+#: Registry of concrete mergeable-summary types, by class name.  The
+#: generated commutativity suite enumerates this to prove the algebra for
+#: every type the collect plane can ship — adding a type here opts it into
+#: the machine-checked monoid/delta laws.
+SUMMARY_TYPES: dict[str, type] = {}
+
+
+def register_summary(cls: type) -> type:
+    """Class decorator: record a concrete summary type in the registry."""
+    SUMMARY_TYPES[cls.__name__] = cls
+    return cls
 
 
 @runtime_checkable
@@ -96,6 +126,7 @@ def _canonical_key(key: Any) -> str:
     return key if isinstance(key, str) else repr(key)
 
 
+@register_summary
 class CounterSummary:
     """Named counters; ``merge`` adds count-wise.  Mapping-like for reads."""
 
@@ -114,6 +145,20 @@ class CounterSummary:
 
     def copy(self) -> "CounterSummary":
         return CounterSummary(self.counts)
+
+    def diff(self, prev: "CounterSummary") -> dict:
+        """The change from ``prev`` to this snapshot, as absolute values."""
+        if not isinstance(prev, CounterSummary):
+            raise ValueError("counter diffs need a CounterSummary base")
+        changed = {name: value for name, value in self.counts.items()
+                   if prev.counts.get(name) != value}
+        removed = [name for name in prev.counts if name not in self.counts]
+        return {"op": "counter", "set": changed, "drop": removed}
+
+    def apply_delta(self, payload: dict) -> None:
+        self.counts.update(payload["set"])
+        for name in payload["drop"]:
+            self.counts.pop(name, None)
 
     def total(self) -> float:
         return sum(self.counts.values())
@@ -143,15 +188,24 @@ class CounterSummary:
         return f"CounterSummary({inner})"
 
 
+@register_summary
 class HistogramSummary:
     """A fixed-edge histogram; ``merge`` adds per-bin counts.
 
     ``edges`` are the (sorted) upper-inclusive boundaries: a value lands in
     the first bin whose edge is >= value, or the overflow bin past the last
     edge.  Two histograms merge only when their edges are identical.
+
+    The value total is accumulated as an exact rational
+    (:class:`fractions.Fraction` represents every float exactly), not a
+    float: float addition is not associative, so a float accumulator would
+    make merge results depend on fold shape — flat vs tree merges could
+    differ in the last ulp, breaking the byte-identity invariant.  The
+    generated commutativity suite (``tools/gen_merge_cases.py``) caught
+    exactly that.  ``total`` reads back as the nearest float.
     """
 
-    __slots__ = ("edges", "bins", "count", "total")
+    __slots__ = ("edges", "bins", "count", "_total")
 
     def __init__(self, edges: Iterable[float],
                  bins: Optional[list[int]] = None,
@@ -164,12 +218,16 @@ class HistogramSummary:
         if len(self.bins) != len(self.edges) + 1:
             raise ValueError("histogram needs len(edges)+1 bins (one overflow)")
         self.count = count
-        self.total = total
+        self._total = Fraction(total)
+
+    @property
+    def total(self) -> float:
+        return float(self._total)
 
     def observe(self, value: float, n: int = 1) -> None:
         self.bins[bisect_left(self.edges, value)] += n
         self.count += n
-        self.total += value * n
+        self._total += Fraction(value) * n
 
     def merge(self, other: "HistogramSummary") -> None:
         if other.edges != self.edges:
@@ -177,14 +235,30 @@ class HistogramSummary:
         for index, n in enumerate(other.bins):
             self.bins[index] += n
         self.count += other.count
-        self.total += other.total
+        self._total += other._total
 
     def copy(self) -> "HistogramSummary":
-        return HistogramSummary(self.edges, bins=self.bins,
-                                count=self.count, total=self.total)
+        clone = HistogramSummary(self.edges, bins=self.bins, count=self.count)
+        clone._total = self._total
+        return clone
+
+    def diff(self, prev: "HistogramSummary") -> dict:
+        """Changed bins (by index, absolute value) plus count/total."""
+        if not isinstance(prev, HistogramSummary) or prev.edges != self.edges:
+            raise ValueError("histogram diffs need an identical-edge base")
+        changed = {index: n for index, n in enumerate(self.bins)
+                   if prev.bins[index] != n}
+        return {"op": "histogram", "bins": changed,
+                "count": self.count, "total": self._total}
+
+    def apply_delta(self, payload: dict) -> None:
+        for index, n in payload["bins"].items():
+            self.bins[index] = n
+        self.count = payload["count"]
+        self._total = Fraction(payload["total"])
 
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return float(self._total / self.count) if self.count else 0.0
 
     def as_dict(self) -> dict:
         return {"type": "histogram", "edges": list(self.edges),
@@ -193,12 +267,13 @@ class HistogramSummary:
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, HistogramSummary) and self.edges == other.edges
                 and self.bins == other.bins and self.count == other.count
-                and self.total == other.total)
+                and self._total == other._total)
 
     def __repr__(self) -> str:
         return f"HistogramSummary(edges={self.edges}, count={self.count})"
 
 
+@register_summary
 class TopKSummary:
     """Exact per-key counts with a bounded top-k *report*.
 
@@ -228,6 +303,21 @@ class TopKSummary:
     def copy(self) -> "TopKSummary":
         return TopKSummary(self.k, self.counts)
 
+    def diff(self, prev: "TopKSummary") -> dict:
+        """Changed keys (absolute new counts) plus the report bound."""
+        if not isinstance(prev, TopKSummary):
+            raise ValueError("top-k diffs need a TopKSummary base")
+        changed = {key: n for key, n in self.counts.items()
+                   if prev.counts.get(key) != n}
+        removed = [key for key in prev.counts if key not in self.counts]
+        return {"op": "top-k", "set": changed, "drop": removed, "k": self.k}
+
+    def apply_delta(self, payload: dict) -> None:
+        self.counts.update(payload["set"])
+        for key in payload["drop"]:
+            self.counts.pop(key, None)
+        self.k = payload["k"]
+
     def top(self, k: Optional[int] = None) -> list[tuple[Any, int]]:
         """The k heaviest keys, count-descending, key-ascending on ties."""
         ordered = sorted(self.counts.items(),
@@ -247,6 +337,7 @@ class TopKSummary:
         return f"TopKSummary(k={self.k}, distinct={len(self.counts)})"
 
 
+@register_summary
 class SeriesSummary:
     """A multiset of ``(time, key, value)`` samples in canonical order.
 
@@ -282,6 +373,29 @@ class SeriesSummary:
         clone.samples = list(self.samples)
         return clone
 
+    def diff(self, prev: "SeriesSummary") -> dict:
+        """The samples appended since ``prev`` (a multiset difference).
+
+        Series only ever grow under observation and merge; a base that is
+        *not* a multiset subset of this snapshot cannot be expressed as an
+        append-only delta and raises ``ValueError`` (the channel then falls
+        back to a cumulative re-send).
+        """
+        if not isinstance(prev, SeriesSummary):
+            raise ValueError("series diffs need a SeriesSummary base")
+        added = _Counter(self.samples)
+        added.subtract(prev.samples)
+        if any(n < 0 for n in added.values()):
+            raise ValueError("series base is not a subset; cumulative resend "
+                             "required")
+        samples = [sample for sample, n in added.items() for _ in range(n)]
+        samples.sort(key=self._sort_key)
+        return {"op": "series", "add": samples}
+
+    def apply_delta(self, payload: dict) -> None:
+        self.samples.extend(payload["add"])
+        self.samples.sort(key=self._sort_key)
+
     def series(self, key: Any) -> list[tuple[float, float]]:
         """The (time, value) points recorded for one key, in time order."""
         return [(t, v) for t, k, v in self.samples if k == key]
@@ -304,6 +418,7 @@ class SeriesSummary:
         return f"SeriesSummary({len(self.samples)} samples, {len(self.keys())} keys)"
 
 
+@register_summary
 class SummaryBundle:
     """A keyed product of mergeable parts; ``merge`` is key-wise.
 
@@ -329,6 +444,41 @@ class SummaryBundle:
     def copy(self) -> "SummaryBundle":
         return SummaryBundle({key: summary_copy(part)
                               for key, part in self.parts.items()})
+
+    def diff(self, prev: "SummaryBundle") -> dict:
+        """Key-wise delta: unchanged parts vanish, changed parts diff
+        recursively, parts without a usable ``diff`` ship as full copies."""
+        if not isinstance(prev, SummaryBundle):
+            raise ValueError("bundle diffs need a SummaryBundle base")
+        set_parts: dict[Any, Any] = {}
+        delta_parts: dict[Any, Any] = {}
+        for key, part in self.parts.items():
+            prev_part = prev.parts.get(key)
+            if prev_part is not None and type(prev_part) is type(part):
+                try:
+                    if prev_part == part:
+                        continue
+                except Exception:
+                    pass                      # no usable equality: ship full
+                differ = getattr(part, "diff", None)
+                if callable(differ):
+                    try:
+                        delta_parts[key] = differ(prev_part)
+                        continue
+                    except ValueError:
+                        pass                  # inexpressible: ship full
+            set_parts[key] = summary_copy(part)
+        removed = [key for key in prev.parts if key not in self.parts]
+        return {"op": "bundle", "set": set_parts, "delta": delta_parts,
+                "drop": removed}
+
+    def apply_delta(self, payload: dict) -> None:
+        for key, part in payload["set"].items():
+            self.parts[key] = summary_copy(part)
+        for key, sub in payload["delta"].items():
+            self.parts[key].apply_delta(sub)
+        for key in payload["drop"]:
+            self.parts.pop(key, None)
 
     def items(self) -> Iterator[tuple[Any, Any]]:
         return iter(self.parts.items())

@@ -1,0 +1,103 @@
+"""Aggregation trees: shard → rack → root reduction over the same monoids.
+
+The flat :meth:`~repro.collect.virtual.CollectPlane.merge` folds every
+shard's partial view in one tier, so the root's merge cost is linear in
+shard count.  At production scale the §4.5 collector tier reduces
+hierarchically — shards fold into rack aggregators, racks into a root —
+and because every per-key summary is a commutative monoid, the tree shape
+is *semantics-free*: any fan-in, any depth, any grouping reconstructs the
+identical global view (the generated commutativity suite proves the
+algebra; the plane's differential tests pin flat vs tree byte-identity).
+
+* :class:`TreeSpec` — the declarative knob (`Scenario.collector(tree=...)`,
+  sweepable as ``collector.tree.fanin``): fan-in per aggregation node.
+* :class:`AggregationNode` — one interior node; ``merged_view()`` folds its
+  children's views key-wise and counts the part-merges it performed.
+* :func:`build_tree` — groups leaves (collector shards) into nodes of at
+  most ``fanin`` children, level by level, until a single root remains.
+
+Nodes take ownership of child views: a shard's ``merged_view()`` already
+returns fresh copies, and an interior node's result is built fresh per
+call, so folding in place never mutates retained shard state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = ["AggregationNode", "TreeSpec", "build_tree"]
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Shape of the aggregation tree: fan-in per interior node."""
+
+    fanin: int = 4
+
+    def __post_init__(self) -> None:
+        if self.fanin < 2:
+            raise ValueError("aggregation-tree fan-in must be >= 2")
+
+
+class AggregationNode:
+    """One interior node: fold the children's merged views key-wise.
+
+    Children are anything with a ``merged_view() -> dict[tuple, summary]``
+    — collector shards at the leaves, other nodes above them.
+    """
+
+    def __init__(self, name: str, children: Sequence[Any]) -> None:
+        if not children:
+            raise ValueError("an aggregation node needs at least one child")
+        self.name = name
+        self.children = list(children)
+        self.level = 0                      # set by build_tree (1 = rack tier)
+        self.merges = 0                     # part-merge operations performed
+        self.folds = 0                      # merged_view() calls served
+
+    def merged_view(self) -> dict[tuple, Any]:
+        """This subtree's partial global view: (app, key) -> merged summary."""
+        self.folds += 1
+        merged: dict[tuple, Any] = {}
+        for child in self.children:
+            for target, summary in child.merged_view().items():
+                if target in merged:
+                    merged[target].merge(summary)
+                    self.merges += 1
+                else:
+                    merged[target] = summary
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AggregationNode {self.name} children={len(self.children)} "
+                f"merges={self.merges}>")
+
+
+def build_tree(leaves: Sequence[Any], fanin: int) -> tuple[AggregationNode, list[AggregationNode]]:
+    """Build the reduction tree over ``leaves``; (root, all interior nodes).
+
+    Leaves are grouped ``fanin`` at a time in index order, level by level,
+    until one root remains — so merge cost per node is bounded by the
+    fan-in and tree depth is logarithmic in leaf count.  A single leaf
+    still gets a root node, keeping the plane's merge path uniform.
+    """
+    if fanin < 2:
+        raise ValueError("aggregation-tree fan-in must be >= 2")
+    if not leaves:
+        raise ValueError("cannot build an aggregation tree over zero leaves")
+    nodes: list[AggregationNode] = []
+    level_members: list[Any] = list(leaves)
+    level = 0
+    while len(level_members) > 1 or level == 0:
+        level += 1
+        grouped = [AggregationNode(f"agg-L{level}.{index // fanin}",
+                                   level_members[index:index + fanin])
+                   for index in range(0, len(level_members), fanin)]
+        for node in grouped:
+            node.level = level
+        nodes.extend(grouped)
+        level_members = grouped
+        if len(level_members) == 1:
+            break
+    return level_members[0], nodes

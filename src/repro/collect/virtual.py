@@ -5,8 +5,11 @@ and load-balances it; this module reproduces that shape:
 
 * :class:`CollectPlane` owns the shard tier (N :class:`CollectorShard`
   services), the transport policy (``"inline"`` direct calls or
-  ``"network"`` summary packets over the simulated fabric), the epoch
-  schedule, and the global merge.
+  ``"network"`` summary packets over the simulated fabric), the wire
+  encoding (cumulative snapshots, or per-source delta channels when
+  ``delta=True`` — see :mod:`repro.collect.delta`), the epoch schedule,
+  the optional shard → rack → root aggregation tree
+  (:mod:`repro.collect.tree`), and the global merge.
 * :class:`VirtualCollector` is the per-application front door.  It keeps
   the legacy :class:`repro.endhost.aggregator.Collector` surface —
   ``submit(host, summary, time)``, the ``summaries`` list, ``len()`` — so
@@ -20,26 +23,47 @@ always lands on the same shard, so last-writer-wins replacement is local
 to one shard at any shard count, and (b) the per-key summaries are
 commutative monoids (:mod:`repro.collect.summary`), so
 :meth:`CollectPlane.merge` reconstructs the identical global view from any
-partition — merged results are invariant across shard counts and
-submission orders (tested, and swept by
+partition — merged results are invariant across shard counts, submission
+orders, tree shapes, and wire encodings (tested, and swept by
 ``benchmarks/bench_collector_scale.py``).
+
+Delta-channel plumbing: the plane owns one sender
+:class:`~repro.collect.delta.DeltaChannel` per (app, host, key) source;
+shards decode at fold time.  At every epoch tick (and at the final flush)
+the plane drains each shard's resync requests — the receiver-driven NACK —
+and flags the matching sender channels to emit a cumulative keyframe on
+their next push, closing the gap-recovery loop.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.net.packet import (ETHERNET_HEADER_BYTES, IPV4_HEADER_BYTES,
                               UDP_HEADER_BYTES, Packet)
 
-from .shard import (COLLECT_UDP_PORT_BASE, CollectorShard, Submission,
-                    summary_wire_bytes)
+from .delta import DeltaChannel, summary_wire_bytes
+from .shard import (COLLECT_UDP_PORT_BASE, _ENVELOPE_BYTES, CollectorShard,
+                    ShedSpec, Submission, as_shed_spec)
 from .summary import SummaryBundle, _canonical_key, summary_copy
+from .tree import AggregationNode, TreeSpec, build_tree
 
 #: Transports the plane understands.
 TRANSPORTS = ("inline", "network")
+
+
+def as_tree_spec(tree: Union[int, TreeSpec, None]) -> Optional[TreeSpec]:
+    """Normalise the scenario-facing knob: fan-in, spec, or None (flat)."""
+    if tree is None or isinstance(tree, TreeSpec):
+        return tree
+    if isinstance(tree, bool):              # bool is an int; reject it early
+        raise TypeError("tree must be a fan-in, a TreeSpec, or None")
+    if isinstance(tree, int):
+        return TreeSpec(fanin=tree)
+    raise TypeError(f"tree must be a fan-in, a TreeSpec, or None; "
+                    f"got {type(tree).__name__}")
 
 
 def shard_index(app: str, host: str, key: Any, shard_count: int) -> int:
@@ -116,13 +140,22 @@ class PlaneStats:
 
     summaries_submitted: int = 0
     parts_routed: int = 0
+    parts_received: int = 0
     parts_delivered: int = 0
     parts_dropped: int = 0
     flushes: int = 0
     epoch_flushes: int = 0
     batch_flushes: int = 0
+    bytes_routed: int = 0
     bytes_received: int = 0
     packets_sent: int = 0
+    delta_applied: int = 0
+    delta_gaps: int = 0
+    delta_resyncs: int = 0
+    resync_requests: int = 0
+    drops_by_policy: dict = field(default_factory=dict)
+    tree_levels: int = 0
+    tree_node_merges: int = 0
     per_shard: list[dict] = field(default_factory=list)
 
 
@@ -137,7 +170,8 @@ class CollectPlane:
             submitting host to the shard's host (requires :meth:`attach`).
         epoch_s: flush period.  When attached, every epoch the plane first
             fires its epoch callbacks (the session layer pushes aggregator
-            summaries there), then flushes every shard's batch buffer.
+            summaries there), then flushes every shard's batch buffer and
+            drains delta-resync requests.
         batch / capacity: per-shard batch-fold size and backpressure bound
             (see :class:`~repro.collect.shard.CollectorShard`;
             ``batch=None`` defers folding to epochs/finish, which is the
@@ -148,13 +182,28 @@ class CollectPlane:
             ``submission_times``).  Disable for long epoch-push runs — the
             log holds every cumulative snapshot, while shard state stays
             bounded by last-writer-wins either way.
+        tree: aggregation-tree shape — a fan-in, a
+            :class:`~repro.collect.tree.TreeSpec`, or None for the flat
+            single-tier merge.  Semantics-free: any shape reconstructs the
+            identical global view.
+        shed: backpressure policy — a policy name, a
+            :class:`~repro.collect.shard.ShedSpec`, or None for the
+            default tail-drop.
+        delta: encode submissions as per-source delta channels instead of
+            cumulative snapshots (exact — see :mod:`repro.collect.delta`).
+        delta_resync_every: sender keyframe interval backstop (0 disables;
+            receiver-driven resyncs happen regardless).
     """
 
     def __init__(self, shard_count: int = 1, *, transport: str = "inline",
                  epoch_s: Optional[float] = None, batch: Optional[int] = 64,
                  capacity: int = 4096,
                  shard_hosts: Optional[list[str]] = None,
-                 retain_submissions: bool = True) -> None:
+                 retain_submissions: bool = True,
+                 tree: Union[int, TreeSpec, None] = None,
+                 shed: Union[str, ShedSpec, None] = None,
+                 delta: bool = False,
+                 delta_resync_every: int = 0) -> None:
         if shard_count < 1:
             raise ValueError("the collector tier needs at least one shard")
         if transport not in TRANSPORTS:
@@ -162,13 +211,28 @@ class CollectPlane:
                              f"choose from {TRANSPORTS}")
         if epoch_s is not None and epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
+        if delta_resync_every < 0:
+            raise ValueError("delta_resync_every must be >= 0")
         self.shard_count = shard_count
         self.transport = transport
         self.epoch_s = epoch_s
         self.retain_submissions = retain_submissions
         self.shard_hosts = list(shard_hosts) if shard_hosts is not None else None
-        self.shards = [CollectorShard(index, batch=batch, capacity=capacity)
+        self.shed = as_shed_spec(shed)
+        self.shards = [CollectorShard(index, batch=batch, capacity=capacity,
+                                      shed=self.shed)
                        for index in range(shard_count)]
+        self.tree_spec = as_tree_spec(tree)
+        self.tree_root: Optional[AggregationNode] = None
+        self.tree_nodes: list[AggregationNode] = []
+        if self.tree_spec is not None:
+            self.tree_root, self.tree_nodes = build_tree(
+                self.shards, self.tree_spec.fanin)
+        self.delta = delta
+        self.delta_resync_every = delta_resync_every
+        self._channels: dict[tuple, DeltaChannel] = {}
+        self.resync_requests = 0
+        self.bytes_routed = 0
         self.front_doors: dict[str, VirtualCollector] = {}
         self._seq = 0
         self._sim = None
@@ -222,10 +286,27 @@ class CollectPlane:
         for shard in self.shards:
             if shard.pending:
                 shard.flush(kind="epoch")
+        if self.delta:
+            self._poll_resyncs()
+
+    def _poll_resyncs(self) -> None:
+        """Drain shard NACKs and flag sender channels for keyframes."""
+        for shard in self.shards:
+            for group in shard.take_resync_requests():
+                self.resync_requests += 1
+                channel = self._channels.get(group)
+                if channel is not None:
+                    channel.needs_full = True
 
     # ---------------------------------------------------------------- routing
     def route(self, app: str, host: str, summary: Any, time: float) -> int:
-        """Split a summary into keyed parts and deliver them to shards."""
+        """Split a summary into keyed parts and deliver them to shards.
+
+        With ``delta=True`` each part is passed through its source's delta
+        channel first, so what travels (and what the shard buffers) is a
+        :class:`~repro.collect.delta.SummaryDelta` unit rather than the
+        cumulative snapshot.
+        """
         if isinstance(summary, SummaryBundle):
             parts = [(key, part) for key, part in summary.items()]
         else:
@@ -234,8 +315,16 @@ class CollectPlane:
         for key, part in parts:
             seq = self._seq
             self._seq += 1
+            if self.delta:
+                group = (app, host, key)
+                channel = self._channels.get(group)
+                if channel is None:
+                    channel = self._channels[group] = DeltaChannel(
+                        self.delta_resync_every)
+                part = channel.encode(part)
             submission = Submission(time=time, seq=seq, app=app, host=host,
                                     key=key, summary=part)
+            self.bytes_routed += _ENVELOPE_BYTES + summary_wire_bytes(part)
             index = shard_index(app, host, key, self.shard_count)
             per_shard.setdefault(index, []).append(submission)
         if self.transport == "inline":
@@ -262,7 +351,7 @@ class CollectPlane:
                 for submission in submissions:
                     shard.ingest(submission)
                 continue
-            payload_bytes = sum(32 + summary_wire_bytes(s.summary)
+            payload_bytes = sum(_ENVELOPE_BYTES + summary_wire_bytes(s.summary)
                                 for s in submissions)
             size = (ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES
                     + UDP_HEADER_BYTES + payload_bytes)
@@ -279,25 +368,32 @@ class CollectPlane:
         for shard in self.shards:
             if shard.pending:
                 shard.flush(kind=kind)
+        if self.delta:
+            self._poll_resyncs()
 
     def merge(self, flush: bool = True) -> dict[tuple, Any]:
         """The reconstructed global view: (app, key) -> merged summary.
 
-        Folds shard-partial views in sorted key order; since every per-key
-        summary is a commutative monoid and each (app, host, key) lives on
-        exactly one shard, the result is independent of shard count, shard
-        iteration order, and submission order (asserted in tests and by the
-        scaling benchmark).
+        Flat mode folds shard-partial views in one pass; with an
+        aggregation tree the same fold runs through the shard → rack →
+        root reduction instead.  Either way the result is independent of
+        shard count, iteration order, submission order, wire encoding,
+        and tree shape — every per-key summary is a commutative monoid
+        and each (app, host, key) lives on exactly one shard (asserted in
+        tests and by the scaling benchmark).
         """
         if flush:
             self.flush_all()
-        merged: dict[tuple, Any] = {}
-        for shard in self.shards:
-            for target, summary in shard.merged_view().items():
-                if target in merged:
-                    merged[target].merge(summary)
-                else:
-                    merged[target] = summary_copy(summary)
+        if self.tree_root is not None:
+            merged = self.tree_root.merged_view()
+        else:
+            merged = {}
+            for shard in self.shards:
+                for target, summary in shard.merged_view().items():
+                    if target in merged:
+                        merged[target].merge(summary)
+                    else:
+                        merged[target] = summary_copy(summary)
         return {target: merged[target] for target
                 in sorted(merged, key=lambda t: (t[0], _canonical_key(t[1])))}
 
@@ -307,16 +403,29 @@ class CollectPlane:
         stats.summaries_submitted = sum(d.submitted for d in self.front_doors.values())
         stats.parts_routed = self._seq
         stats.packets_sent = self.packets_sent
+        stats.bytes_routed = self.bytes_routed
+        stats.resync_requests = self.resync_requests
+        stats.tree_levels = self.tree_root.level if self.tree_root else 0
+        stats.tree_node_merges = sum(n.merges for n in self.tree_nodes)
         for shard in self.shards:
-            stats.parts_delivered += shard.received
+            stats.parts_received += shard.received
+            stats.parts_delivered += shard.delivered
             stats.parts_dropped += shard.dropped
             stats.flushes += shard.flushes
             stats.epoch_flushes += shard.epoch_flushes
             stats.batch_flushes += shard.batch_flushes
             stats.bytes_received += shard.bytes_received
+            stats.delta_applied += shard.decoder.applied
+            stats.delta_gaps += shard.decoder.gaps
+            stats.delta_resyncs += shard.decoder.resyncs
+            for reason, count in shard.drops_by_policy.items():
+                stats.drops_by_policy[reason] = \
+                    stats.drops_by_policy.get(reason, 0) + count
             stats.per_shard.append({
                 "shard": shard.name, "host": shard.host_name,
-                "received": shard.received, "dropped": shard.dropped,
+                "submitted": shard.submitted, "received": shard.received,
+                "delivered": shard.delivered, "dropped": shard.dropped,
+                "drops_by_policy": dict(shard.drops_by_policy),
                 "flushes": shard.flushes, "state_groups": len(shard.state),
                 "bytes_received": shard.bytes_received,
             })

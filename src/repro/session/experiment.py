@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.collect import CollectPlane
+from repro.collect import CollectPlane, SHED_POLICIES
 from repro.core.compiler import CompiledTPP, compile_tpp
 from repro.core.packet_format import TPP
 from repro.endhost import (Aggregator, Collector, DeployedApplication,
@@ -162,7 +162,9 @@ class Experiment:
                 self.collect_plane = CollectPlane(
                     cspec.shards, transport=cspec.transport, epoch_s=cspec.epoch_s,
                     batch=cspec.batch, capacity=cspec.capacity,
-                    shard_hosts=cspec.hosts, retain_submissions=cspec.retain)
+                    shard_hosts=cspec.hosts, retain_submissions=cspec.retain,
+                    tree=cspec.tree, shed=cspec.shed, delta=cspec.delta,
+                    delta_resync_every=cspec.delta_resync_every)
                 self.collect_plane.attach(self.sim, self.network)
                 self.collect_plane.on_epoch(self._push_summaries)
 
@@ -308,11 +310,19 @@ class Experiment:
         if self.collect_plane is not None:
             metrics.gauge("collect.shards",
                           lambda: self.collect_plane.shard_count)
-            for name in ("received", "dropped", "bytes_received", "pending",
-                         "state_groups", "flushes", "batch_flushes",
-                         "epoch_flushes", "stale_replaced"):
+            for name in ("submitted", "received", "delivered", "dropped",
+                         "bytes_received", "pending", "state_groups",
+                         "flushes", "batch_flushes", "epoch_flushes",
+                         "stale_replaced", "delta_applied", "delta_gaps",
+                         "delta_resyncs"):
                 metrics.gauge(f"collect.{name}",
                               functools.partial(self._collect_total, name))
+            metrics.gauge("collect.bytes_routed",
+                          lambda: self.collect_plane.bytes_routed)
+            for reason in SHED_POLICIES + ("delta-gap",):
+                metrics.gauge(f"collect.drops.{reason}",
+                              functools.partial(self._collect_drop_reason,
+                                                reason))
 
     def _tcpu_total(self, name: str) -> int:
         return sum(switch.tcpu.telemetry_counters()[name]
@@ -324,6 +334,10 @@ class Experiment:
 
     def _collect_total(self, name: str) -> int:
         return sum(shard.metrics()[name] for shard in self.collect_plane.shards)
+
+    def _collect_drop_reason(self, reason: str) -> int:
+        return sum(shard.drops_by_policy.get(reason, 0)
+                   for shard in self.collect_plane.shards)
 
     # ---------------------------------------------------------------- running
     def run(self, duration_s: Optional[float] = None, *,
@@ -442,6 +456,8 @@ class Experiment:
             trace_runs += tcpu.trace_executions
             trace_falls += tcpu.trace_fallbacks
         shards = submitted = delivered = dropped = flushes = 0
+        bytes_on_wire = delta_applied = delta_gaps = delta_resyncs = 0
+        drops_by_policy: dict[str, int] = {}
         if self.collect_plane is not None:
             plane_stats = self.collect_plane.stats()
             shards = self.collect_plane.shard_count
@@ -449,6 +465,11 @@ class Experiment:
             delivered = plane_stats.parts_delivered
             dropped = plane_stats.parts_dropped
             flushes = plane_stats.flushes
+            bytes_on_wire = plane_stats.bytes_routed
+            delta_applied = plane_stats.delta_applied
+            delta_gaps = plane_stats.delta_gaps
+            delta_resyncs = plane_stats.delta_resyncs
+            drops_by_policy = dict(plane_stats.drops_by_policy)
         corrupted = downs = ups = 0
         for link in self.network.links:
             corrupted += link.packets_corrupted
@@ -485,6 +506,11 @@ class Experiment:
             summary_parts_delivered=delivered,
             summary_parts_dropped=dropped,
             summary_flushes=flushes,
+            summary_bytes_on_wire=bytes_on_wire,
+            summary_delta_applied=delta_applied,
+            summary_delta_gaps=delta_gaps,
+            summary_delta_resyncs=delta_resyncs,
+            summary_drops_by_policy=drops_by_policy,
             fault_events_applied=fault_events,
             packets_corrupted=corrupted,
             link_down_transitions=downs,
@@ -538,6 +564,14 @@ class ExperimentResult:
     summary_parts_delivered: int = 0
     summary_parts_dropped: int = 0
     summary_flushes: int = 0
+    # Streaming-collection telemetry: front-door bytes routed (the wire-size
+    # estimate under the configured encoding), delta-channel replay totals,
+    # and shard drops broken down by shed policy / delta-gap reason.
+    summary_bytes_on_wire: int = 0
+    summary_delta_applied: int = 0
+    summary_delta_gaps: int = 0
+    summary_delta_resyncs: int = 0
+    summary_drops_by_policy: dict[str, int] = field(default_factory=dict)
     # Fault-plane telemetry (all zero/empty on a healthy run): plan events
     # applied, link corruption and up/down transition totals, remediation
     # actions taken, and network-wide per-category drop counts (the

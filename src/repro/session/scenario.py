@@ -125,6 +125,12 @@ class CollectorSpec:
     capacity: int = 4096
     hosts: Optional[list[str]] = None
     retain: bool = True
+    # Streaming-collection knobs (normalised specs, so sweeps can override
+    # nested fields with dataclasses.replace — see repro.sweep.plan).
+    tree: Optional["TreeSpec"] = None        # repro.collect.TreeSpec
+    shed: Optional["ShedSpec"] = None        # repro.collect.ShedSpec
+    delta: bool = False
+    delta_resync_every: int = 0
 
 
 class Scenario:
@@ -243,7 +249,9 @@ class Scenario:
                   transport: str = "inline", batch: Optional[int] = 64,
                   capacity: int = 4096,
                   hosts: Optional[list[str]] = None,
-                  retain: bool = True) -> "Scenario":
+                  retain: bool = True,
+                  tree=None, shed=None, delta: bool = False,
+                  delta_resync_every: int = 0) -> "Scenario":
         """Route every application's summaries through a sharded collector
         tier behind one virtual address (§4.5's deployment model).
 
@@ -277,6 +285,22 @@ class Scenario:
                 for long epoch-push runs — the log would hold every
                 cumulative snapshot, while shard state stays bounded by
                 last-writer-wins regardless.
+            tree: aggregation-tree shape — a fan-in (int), a
+                :class:`~repro.collect.TreeSpec`, or None for the flat
+                single-tier merge.  Semantics-free: any shape reconstructs
+                the identical global view (differential-tested).
+            shed: backpressure policy for full shard buffers — a policy
+                name (one of :data:`~repro.collect.SHED_POLICIES`), a
+                :class:`~repro.collect.ShedSpec`, or None for the default
+                ``"drop-newest"`` tail drop.  Every shed is accounted in
+                ``result.summary_drops_by_policy``.
+            delta: encode submissions as per-source delta channels (epoch
+                diffs with sequence numbers and cumulative-resync
+                fallback) instead of cumulative re-sends.  Exact: merged
+                views are byte-identical to cumulative mode.
+            delta_resync_every: sender keyframe interval backstop for
+                delta channels (0 disables; receiver-driven resyncs
+                happen regardless).
 
         Single-shard inline planes are byte-identical to the legacy
         in-memory :class:`~repro.endhost.Collector` (differential-tested
@@ -286,6 +310,8 @@ class Scenario:
         # Validation is eager (like topology/workload names) so mistakes
         # surface at declaration, not deep inside the build.
         from repro.collect import TRANSPORTS
+        from repro.collect.shard import as_shed_spec
+        from repro.collect.virtual import as_tree_spec
         if shards < 1:
             raise ValueError("the collector tier needs at least one shard")
         if transport not in TRANSPORTS:
@@ -295,11 +321,17 @@ class Scenario:
             raise ValueError("epoch_s must be positive")
         if (batch is not None and batch < 1) or capacity < 1:
             raise ValueError("batch (when set) and capacity must be >= 1")
+        if delta_resync_every < 0:
+            raise ValueError("delta_resync_every must be >= 0")
         self.collector_spec = CollectorSpec(shards=shards, epoch_s=epoch_s,
                                             transport=transport, batch=batch,
                                             capacity=capacity,
                                             hosts=list(hosts) if hosts else None,
-                                            retain=retain)
+                                            retain=retain,
+                                            tree=as_tree_spec(tree),
+                                            shed=as_shed_spec(shed) if shed is not None else None,
+                                            delta=bool(delta),
+                                            delta_resync_every=delta_resync_every)
         return self
 
     def faults(self, plan=None, **generator_kwargs) -> "Scenario":

@@ -309,6 +309,8 @@ RESULT_COUNTER_FIELDS = (
     "tpps_truncated", "traces_compiled", "trace_executions",
     "trace_fallbacks", "collect_shards", "summaries_submitted",
     "summary_parts_delivered", "summary_parts_dropped", "summary_flushes",
+    "summary_bytes_on_wire", "summary_delta_applied", "summary_delta_gaps",
+    "summary_delta_resyncs",
     "fault_events_applied", "packets_corrupted", "link_down_transitions",
     "link_up_transitions", "remediation_actions",
 )

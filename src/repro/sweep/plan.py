@@ -18,6 +18,10 @@ Axis paths address the spec declaratively::
     compile_traces            engine toggle (likewise seed_ecmp / stacks)
     topology.<kwarg>          a topology-builder keyword
     collector.<field>         a .collector(...) knob (shards, epoch_s, ...)
+    collector.tree.<field>    an aggregation-tree knob (fanin); materialises
+                              a default TreeSpec when the base has none
+    collector.shed.<field>    a load-shedding knob (policy, sample_stride,
+                              priority); likewise materialises a ShedSpec
     faults.<field>            a .faults(...) knob (loss_rate, corrupt_links,
                               onset_s, seed, ...)
     remediation.<field>       a .remediation(...) knob (policy, period_s,
@@ -38,6 +42,7 @@ import itertools
 from dataclasses import dataclass, fields, replace
 from typing import Any, Iterable, Optional, Sequence, Union
 
+from repro.collect import ShedSpec, TreeSpec
 from repro.faults import FaultSpec, RemediationSpec
 from repro.session import Scenario, ScenarioSpec
 from repro.session.scenario import CollectorSpec
@@ -96,13 +101,36 @@ def _apply_override(spec: ScenarioSpec, path: str, value: Any) -> None:
         spec.topology_kwargs[rest] = value
         return
     if head == "collector":
-        if not rest or "." in rest:
+        if not rest:
             raise SpecError(f"axis path {path!r} must be collector.<field>")
         if spec.collector is None:
             spec.collector = CollectorSpec()
+        if "." in rest:
+            # Nested streaming-collection knobs: collector.tree.<field> /
+            # collector.shed.<field>, rewriting the sub-spec immutably so
+            # sibling tasks sharing the base spec never alias state.
+            sub, _, leaf = rest.partition(".")
+            nested = {"tree": TreeSpec, "shed": ShedSpec}
+            if sub not in nested or not leaf or "." in leaf:
+                raise SpecError(f"axis path {path!r} must be "
+                                f"collector.<field>, collector.tree.<field>, "
+                                f"or collector.shed.<field>")
+            sub_cls = nested[sub]
+            if leaf not in {f.name for f in fields(sub_cls)}:
+                raise SpecError(f"axis path {path!r}: {sub_cls.__name__} has "
+                                f"no field {leaf!r}")
+            current = getattr(spec.collector, sub) or sub_cls()
+            spec.collector = replace(spec.collector,
+                                     **{sub: replace(current, **{leaf: value})})
+            return
         if rest not in {f.name for f in fields(CollectorSpec)}:
             raise SpecError(f"axis path {path!r}: CollectorSpec has no "
                             f"field {rest!r}")
+        if rest == "tree" and isinstance(value, int) \
+                and not isinstance(value, bool):
+            value = TreeSpec(fanin=value)
+        elif rest == "shed" and isinstance(value, str):
+            value = ShedSpec(policy=value)
         spec.collector = replace(spec.collector, **{rest: value})
         return
     if head == "faults":

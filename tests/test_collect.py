@@ -1,10 +1,14 @@
 """Tests for the sharded collection plane (repro.collect, §4.5).
 
 Covers the mergeable-summary monoids, shard batching/epoch/backpressure
-behaviour, virtual-IP routing and the order-independent merge, the
-Scenario integration, the end-to-end truncation accounting chain, and the
-differential guarantee: a single-shard inline plane is byte-identical to
-the legacy in-memory collector on every app scenario.
+behaviour, load-shedding policies and their accounting identity, the
+delta-channel wire format (gap detection, resync, bytes-on-wire
+regression), the aggregation tree, virtual-IP routing and the
+order-independent merge, the Scenario integration, the end-to-end
+truncation accounting chain, and the differential guarantees: a
+single-shard inline plane is byte-identical to the legacy in-memory
+collector on every app scenario, and merged views are byte-identical
+across {cumulative, delta} x {flat, tree} configurations.
 """
 
 import json
@@ -15,9 +19,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.collect import (CollectPlane, CollectorShard, CounterSummary,
-                           HistogramSummary, SeriesSummary, Submission,
-                           SummaryBundle, TopKSummary, merge_summaries,
-                           shard_index, summary_jsonable)
+                           DeltaChannel, DeltaDecoder, HistogramSummary,
+                           SHED_POLICIES, SeriesSummary, ShedSpec, Submission,
+                           SummaryBundle, SummaryDelta, TopKSummary, TreeSpec,
+                           build_tree, merge_summaries, shard_index,
+                           summary_jsonable)
 from repro.endhost import Collector, PacketFilter
 from repro.net import mbps
 from repro.session import Scenario
@@ -345,6 +351,20 @@ class TestScenarioIntegration:
             Scenario("dumbbell").collector(epoch_s=0)
         with pytest.raises(ValueError):
             Scenario("dumbbell").collector(batch=0)
+        with pytest.raises(ValueError):
+            Scenario("dumbbell").collector(tree=1)       # fan-in must be >= 2
+        with pytest.raises(ValueError):
+            Scenario("dumbbell").collector(shed="coin-flip")
+        with pytest.raises(ValueError):
+            Scenario("dumbbell").collector(delta_resync_every=-1)
+
+    def test_collector_spec_normalises_streaming_knobs(self):
+        spec = (Scenario("dumbbell")
+                .collector(shards=4, tree=2, shed="drop-oldest", delta=True)
+                .collector_spec)
+        assert spec.tree == TreeSpec(fanin=2)
+        assert spec.shed == ShedSpec(policy="drop-oldest")
+        assert spec.delta is True
 
     def test_plane_telemetry_lands_on_the_result(self):
         result = monitored_scenario(shards=2).run(duration_s=0.1)
@@ -538,3 +558,341 @@ class TestSingleShardDifferential:
         assert legacy.probes_sent == sharded.probes_sent
         assert [o.time for o in legacy.observations] == \
             [o.time for o in sharded.observations]
+
+
+class TestShedPolicies:
+    """Backpressure policies: example behaviour plus per-policy accounting."""
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ShedSpec(policy="coin-flip")
+        with pytest.raises(ValueError):
+            ShedSpec(policy="sample", sample_stride=0)
+
+    def test_drop_newest_is_the_default_tail_drop(self):
+        shard = CollectorShard(0, batch=None, capacity=2)
+        accepted = [shard.ingest(submission(seq, host=f"h{seq}"))
+                    for seq in range(5)]
+        assert accepted == [True, True, False, False, False]
+        assert shard.drops_by_policy == {"drop-newest": 3}
+
+    def test_drop_oldest_keeps_the_freshest(self):
+        shard = CollectorShard(0, batch=None, capacity=2,
+                               shed="drop-oldest")
+        for seq in range(5):
+            assert shard.ingest(submission(seq, host=f"h{seq}"))
+        assert [s.seq for s in shard.pending] == [3, 4]
+        assert shard.dropped == 3
+        assert shard.drops_by_policy == {"drop-oldest": 3}
+
+    def test_sample_admits_by_stride_deterministically(self):
+        shard = CollectorShard(0, batch=None, capacity=1,
+                               shed=ShedSpec("sample", sample_stride=3))
+        admitted = [shard.ingest(submission(seq)) for seq in range(1, 10)]
+        # Buffer fills at seq 1; afterwards only seq % 3 == 0 gets in.
+        assert admitted == [True, False, True, False, False, True,
+                            False, False, True]
+        assert shard.pending[-1].seq == 9
+
+    def test_priority_keys_survive_eviction(self):
+        shard = CollectorShard(0, batch=None, capacity=2,
+                               shed=ShedSpec("priority-keys", priority=("hot",)))
+        shard.ingest(submission(0, key="hot"))
+        shard.ingest(submission(1, key="cold"))
+        shard.ingest(submission(2, key="cold"))     # evicts the first cold
+        assert [s.key for s in shard.pending] == ["hot", "cold"]
+        # All-priority buffer: cold arrivals bounce, hot arrivals rotate.
+        shard.ingest(submission(3, key="hot"))
+        assert not shard.ingest(submission(4, key="cold"))
+        assert shard.ingest(submission(5, key="hot"))
+        assert all(s.key == "hot" for s in shard.pending)
+        assert shard.drops_by_policy == {"priority-keys": 4}
+
+    def test_drops_by_policy_mirrors_totals(self):
+        # drops_by_policy plays the role Port.drops_by_reason plays on the
+        # network layer: the breakdown always sums to the scalar total.
+        shard = CollectorShard(0, batch=None, capacity=1, shed="drop-oldest")
+        for seq in range(7):
+            shard.ingest(submission(seq, host=f"h{seq % 2}"))
+        assert sum(shard.drops_by_policy.values()) == shard.dropped == 6
+        assert shard.metrics()["dropped"] == 6
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           policy=st.sampled_from(SHED_POLICIES),
+           capacity=st.integers(min_value=1, max_value=6))
+    def test_accounting_identity_per_shard(self, seed, policy, capacity):
+        # submitted == delivered + dropped + pending at every instant, and
+        # == delivered + dropped after the final flush, under any arrival
+        # sequence and any policy.
+        rng = random.Random(seed)
+        shard = CollectorShard(0, batch=None, capacity=capacity,
+                               shed=ShedSpec(policy, sample_stride=2,
+                                             priority=("hot",)))
+        for seq in range(rng.randrange(1, 40)):
+            shard.ingest(submission(
+                seq, host=f"h{rng.randrange(3)}",
+                key=rng.choice(("hot", "cold", "warm")),
+                time=rng.random()))
+            assert shard.submitted == (shard.delivered + shard.dropped
+                                       + len(shard.pending))
+            if rng.random() < 0.2:
+                shard.flush(kind="epoch")
+        shard.flush()
+        assert shard.submitted == shard.delivered + shard.dropped
+        assert sum(shard.drops_by_policy.values()) == shard.dropped
+        assert shard.delivered <= shard.received <= shard.submitted
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           policy=st.sampled_from(SHED_POLICIES),
+           fanin=st.integers(min_value=2, max_value=4))
+    def test_accounting_identity_across_plane_and_tree(self, seed, policy,
+                                                       fanin):
+        # The identity also holds summed across shards, and the tree merge
+        # neither loses nor duplicates anything the shards delivered.
+        rng = random.Random(seed)
+        plane = CollectPlane(4, batch=None, capacity=2, tree=fanin,
+                             shed=ShedSpec(policy, priority=("hot",)))
+        door = plane.front_door("app")
+        for push in range(rng.randrange(1, 15)):
+            host = f"h{rng.randrange(4)}"
+            door.submit(host, SummaryBundle({
+                "hot": counter(n=push + 1),
+                "cold": counter(n=1),
+            }), time=float(push))
+        merged = plane.merge()                      # flushes first
+        stats = plane.stats()
+        assert stats.parts_routed == (stats.parts_delivered
+                                      + stats.parts_dropped)
+        assert sum(stats.drops_by_policy.values()) == stats.parts_dropped
+        for entry in stats.per_shard:
+            assert entry["submitted"] == entry["delivered"] + entry["dropped"]
+        # Same arrivals through a flat plane with the same policy: the tree
+        # must reconstruct the identical view from whatever survived.
+        flat = CollectPlane(4, batch=None, capacity=2,
+                            shed=ShedSpec(policy, priority=("hot",)))
+        flat_door = flat.front_door("app")
+        rng2 = random.Random(seed)
+        for push in range(rng2.randrange(1, 15)):
+            host = f"h{rng2.randrange(4)}"
+            flat_door.submit(host, SummaryBundle({
+                "hot": counter(n=push + 1),
+                "cold": counter(n=1),
+            }), time=float(push))
+        assert {k: summary_jsonable(v) for k, v in merged.items()} \
+            == {k: summary_jsonable(v) for k, v in flat.merge().items()}
+
+
+class TestDeltaChannel:
+    """Sender/decoder unit behaviour: sequencing, gaps, resync."""
+
+    def test_first_send_is_a_keyframe_then_deltas(self):
+        channel = DeltaChannel()
+        u1 = channel.encode(counter(n=1))
+        u2 = channel.encode(counter(n=2))
+        assert (u1.kind, u2.kind) == ("full", "delta")
+        assert (u1.seq, u1.base_seq) == (1, -1)
+        assert (u2.seq, u2.base_seq) == (2, 1)
+        assert channel.fulls_sent == 1 and channel.deltas_sent == 1
+
+    def test_keyframe_interval_backstop(self):
+        channel = DeltaChannel(resync_every=3)
+        kinds = [channel.encode(counter(n=i)).kind for i in range(1, 8)]
+        assert kinds == ["full", "delta", "full", "delta", "delta",
+                         "full", "delta"]
+
+    def test_decoder_replays_stream_exactly(self):
+        channel, decoder = DeltaChannel(), DeltaDecoder()
+        state = counter()
+        for i in range(5):
+            state.add("n", i + 1)
+            decoded = decoder.decode(("g",), channel.encode(state))
+            assert decoded == state
+        assert decoder.applied == 4 and decoder.resyncs == 1
+
+    def test_gap_discards_and_requests_resync(self):
+        channel, decoder = DeltaChannel(), DeltaDecoder()
+        u1 = channel.encode(counter(n=1))
+        u2 = channel.encode(counter(n=2))
+        u3 = channel.encode(counter(n=3))
+        assert decoder.decode(("g",), u1) == counter(n=1)
+        # u2 lost in transit: u3's base_seq no longer matches.
+        assert decoder.decode(("g",), u3) is None
+        assert decoder.gaps == 1
+        assert decoder.take_resyncs() == [("g",)]
+        # The plane flags the channel; the next encode is a keyframe and
+        # the stream recovers exactly.
+        channel.needs_full = True
+        u4 = channel.encode(counter(n=9))
+        assert u4.kind == "full"
+        assert decoder.decode(("g",), u4) == counter(n=9)
+        assert decoder.take_resyncs() == []
+
+    def test_delta_to_unknown_channel_is_a_gap(self):
+        channel, decoder = DeltaChannel(), DeltaDecoder()
+        channel.encode(counter(n=1))
+        orphan = channel.encode(counter(n=2))
+        assert decoder.decode(("new",), orphan) is None
+        assert decoder.gaps == 1 and decoder.take_resyncs() == [("new",)]
+
+    def test_shard_counts_gap_drops_by_reason(self):
+        channel = DeltaChannel()
+        channel.encode(counter(n=1))
+        orphan = channel.encode(counter(n=2))   # delta with no base delivered
+        shard = CollectorShard(0, batch=None)
+        shard.ingest(submission(0, summary=orphan))
+        assert shard.flush() == 0
+        assert shard.dropped == 1
+        assert shard.drops_by_policy == {"delta-gap": 1}
+        assert shard.take_resync_requests() == [("app", "h0", "")]
+        # submitted == delivered + dropped still holds with gap drops.
+        assert shard.submitted == shard.delivered + shard.dropped
+
+
+class TestAggregationTree:
+    def test_fanin_validation(self):
+        with pytest.raises(ValueError):
+            TreeSpec(fanin=1)
+        with pytest.raises(ValueError):
+            build_tree([], 2)
+
+    def test_tree_shape_and_levels(self):
+        shards = [CollectorShard(i, batch=None) for i in range(7)]
+        root, nodes = build_tree(shards, fanin=3)
+        assert root.level == 2
+        assert [n.level for n in nodes] == [1, 1, 1, 2]
+        assert sum(len(n.children) for n in nodes if n.level == 1) == 7
+
+    def test_single_leaf_still_gets_a_root(self):
+        shard = CollectorShard(0, batch=None)
+        root, nodes = build_tree([shard], fanin=4)
+        assert nodes == [root] and root.children == [shard]
+
+    def test_tree_merge_matches_flat_merge(self):
+        for fanin in (2, 3, 5):
+            flat = CollectPlane(6)
+            tree = CollectPlane(6, tree=fanin)
+            for plane in (flat, tree):
+                door = plane.front_door("app")
+                rng = random.Random(7)
+                for push in range(20):
+                    door.submit(f"h{rng.randrange(5)}",
+                                SummaryBundle({
+                                    "c": counter(n=rng.randrange(10)),
+                                    "t": TopKSummary(3, {f"k{rng.randrange(4)}": 1}),
+                                }), time=float(push))
+            assert {k: summary_jsonable(v) for k, v in flat.merge().items()} \
+                == {k: summary_jsonable(v) for k, v in tree.merge().items()}
+            stats = tree.stats()
+            assert stats.tree_levels >= 1
+            assert stats.tree_node_merges > 0
+
+
+class TestDeltaBytesRegression:
+    """Delta mode must send strictly fewer bytes on steady-state workloads."""
+
+    def test_inline_plane_bytes_and_identity(self):
+        # Standalone plane: cumulative snapshots that change little per
+        # epoch.  Delta mode must (a) reconstruct the identical view and
+        # (b) route strictly fewer bytes.
+        def drive(plane):
+            door = plane.front_door("app")
+            states = {f"h{i}": counter(**{f"k{j}": j + 1 for j in range(20)})
+                      for i in range(3)}
+            for epoch in range(10):
+                for host, state in states.items():
+                    if epoch < 2:
+                        state.add("hot", 1)     # burst, then steady state
+                    door.submit(host, state, time=float(epoch))
+            return json.dumps({f"{a}|{k}": summary_jsonable(s)
+                               for (a, k), s in plane.merge().items()},
+                              sort_keys=True)
+
+        cumulative, delta = CollectPlane(2), CollectPlane(2, delta=True)
+        assert drive(cumulative) == drive(delta)
+        assert delta.bytes_routed < cumulative.bytes_routed
+        stats = delta.stats()
+        assert stats.delta_applied > 0 and stats.delta_gaps == 0
+
+    def test_network_transport_bytes_on_wire(self):
+        # The satellite regression: over the simulated fabric, the delta
+        # encoding strictly undercuts cumulative re-sends, and the result
+        # surfaces the byte count and replay totals.
+        kwargs = dict(shards=2, transport="network", epoch_s=0.05)
+        cumulative = monitored_scenario(**kwargs) \
+            .run(duration_s=0.3, run_until_idle=True)
+        delta = monitored_scenario(**kwargs, delta=True) \
+            .run(duration_s=0.3, run_until_idle=True)
+        assert cumulative.summary_bytes_on_wire > 0
+        assert delta.summary_bytes_on_wire < cumulative.summary_bytes_on_wire
+        assert delta.summary_delta_applied > 0
+        assert delta.summary_delta_gaps == 0
+        # The reconstructed view is a delivered prefix of the cumulative
+        # truth (the finish-time push is never delivered over the network
+        # transport — packets submitted after the clock stops are lost, in
+        # either encoding).
+        merged_tpps = delta.merged_summary("monitor")["counters"]["tpps"]
+        assert 0 < merged_tpps <= delta.tpps_received
+
+
+class TestDeltaTreeDifferential:
+    """Six-app acceptance: merged views byte-identical across
+    {cumulative, delta} x {flat, 2-level tree}, shedding off."""
+
+    CONFIGS = (
+        ("cumulative-flat", {}),
+        ("delta-flat", dict(delta=True)),
+        ("cumulative-tree", dict(tree=2)),
+        ("delta-tree", dict(tree=2, delta=True, delta_resync_every=4)),
+    )
+
+    @classmethod
+    def _canonical_run(cls, build, duration, **collector_kwargs):
+        scenario = build()
+        scenario.collector(shards=4, epoch_s=0.05, **collector_kwargs)
+        scenario._result_mapper = None          # raw ExperimentResult
+        result = scenario.run(duration_s=duration)
+        plane = result.experiment.collect_plane
+        view = json.dumps({f"{app}|{key}": summary_jsonable(s)
+                           for (app, key), s in plane.merge().items()},
+                          sort_keys=True, default=repr)
+        return result.events_executed, view
+
+    def _differential(self, build, duration):
+        reference = None
+        for label, collector_kwargs in self.CONFIGS:
+            outcome = self._canonical_run(build, duration, **collector_kwargs)
+            if reference is None:
+                reference = outcome
+            assert outcome == reference, label
+
+    def test_microburst(self):
+        from repro.apps.microburst import microburst_scenario
+        self._differential(
+            lambda: microburst_scenario(link_rate_bps=mbps(10),
+                                        offered_load=0.4, seed=3), 0.25)
+
+    def test_netsight(self):
+        from repro.apps.netsight import netsight_scenario
+        self._differential(
+            lambda: netsight_scenario(link_rate_bps=mbps(10), seed=2), 0.2)
+
+    def test_sketches(self):
+        from repro.apps.sketches import sketch_scenario
+        self._differential(
+            lambda: sketch_scenario(num_leaves=2, num_spines=1,
+                                    hosts_per_leaf=2, seed=2), 0.3)
+
+    def test_rcp(self):
+        from repro.apps.rcp import ALPHA_MAXMIN, rcp_scenario
+        self._differential(
+            lambda: rcp_scenario(alpha=ALPHA_MAXMIN,
+                                 link_rate_bps=mbps(10)), 0.5)
+
+    def test_conga(self):
+        from repro.apps.conga import conga_scenario
+        self._differential(
+            lambda: conga_scenario("conga", link_rate_bps=mbps(10)), 0.5)
+
+    def test_netverify(self):
+        from repro.apps.netverify import verification_scenario
+        self._differential(lambda: verification_scenario(), 0.35)

@@ -179,6 +179,46 @@ class TestSweepSpec:
         assert tasks[-1].spec.tpps[0].sample_frequency == 4
         assert tasks[-1].spec.collector.shards == 2
 
+    def test_nested_collector_axes_apply(self):
+        from repro.collect import ShedSpec, TreeSpec
+        base = monitor_scenario()
+        base.collector(shards=4)
+        tasks = (SweepSpec(base)
+                 .axis("collector.tree.fanin", [2, 3])
+                 .axis("collector.shed.policy", ["drop-oldest", "sample"])
+                 .axis("collector.delta", [False, True])).expand()
+        assert len(tasks) == 8
+        last = tasks[-1].spec.collector
+        assert last.tree == TreeSpec(fanin=3)
+        assert last.shed == ShedSpec(policy="sample")
+        assert last.delta is True
+        # Sibling tasks never alias sub-specs: the first task kept fanin 2.
+        assert tasks[0].spec.collector.tree == TreeSpec(fanin=2)
+        assert tasks[0].spec.collector.delta is False
+
+    def test_nested_collector_axis_paths_validate(self):
+        base = monitor_scenario()
+        base.collector(shards=2)
+        sweep = SweepSpec(base)
+        with pytest.raises(SpecError, match="TreeSpec has no"):
+            sweep.axis("collector.tree.nope", [1])
+        with pytest.raises(SpecError, match="ShedSpec has no"):
+            sweep.axis("collector.shed.nope", [1])
+        with pytest.raises(SpecError, match="collector.<field>"):
+            sweep.axis("collector.tree.fanin.extra", [1])
+
+    def test_top_level_tree_and_shed_values_normalise(self):
+        from repro.collect import ShedSpec, TreeSpec
+        base = monitor_scenario()
+        base.collector(shards=4)
+        tasks = (SweepSpec(base)
+                 .axis("collector.tree", [None, 2])
+                 .axis("collector.shed", [None, "drop-oldest"])).expand()
+        specs = [t.spec.collector for t in tasks]
+        assert specs[0].tree is None and specs[0].shed is None
+        assert specs[-1].tree == TreeSpec(fanin=2)
+        assert specs[-1].shed == ShedSpec(policy="drop-oldest")
+
 
 class TestSweepDifferential:
     def test_parallel_sweeps_are_byte_identical_to_serial(self):
