@@ -63,9 +63,14 @@ EXPECTED_TRACE_SPEEDUP = 1.15
 
 
 def build_workload(use_batch: bool = True, compile_traces: bool = False,
-                   telemetry=None):
-    """The 3-tier topology plus per-host burst generators, via one Scenario."""
-    return (
+                   telemetry=None, recorder=None):
+    """The 3-tier topology plus per-host burst generators, via one Scenario.
+
+    ``recorder`` (a :class:`repro.obs.RecorderSpec`) attaches the flight
+    recorder to the identical workload — the lever
+    ``bench_flightrec_overhead.py`` uses to price the observation hooks.
+    """
+    scenario = (
         Scenario("fat-tree", seed=1, name="event-throughput",
                  k=4, link_rate_bps=gbps(1), link_delay_s=5e-6,
                  compile_traces=compile_traces)
@@ -73,14 +78,17 @@ def build_workload(use_batch: bool = True, compile_traces: bool = False,
              filter=PacketFilter(protocol="udp"))
         .workload("cross-pod-bursts", burst_packets=BURST_PACKETS,
                   burst_interval_s=BURST_INTERVAL_S, payload_bytes=PAYLOAD_BYTES,
-                  use_batch=use_batch)
-        .build(telemetry=telemetry))
+                  use_batch=use_batch))
+    if recorder is not None:
+        scenario.flight_recorder(recorder)
+    return scenario.build(telemetry=telemetry)
 
 
 def run_once(duration_s: float, use_batch: bool = True,
-             compile_traces: bool = False) -> dict:
+             compile_traces: bool = False, recorder=None) -> dict:
     experiment = build_workload(use_batch=use_batch,
-                                compile_traces=compile_traces)
+                                compile_traces=compile_traces,
+                                recorder=recorder)
     sim, net = experiment.sim, experiment.network
     start = time.perf_counter()
     sim.run(until=duration_s)
@@ -107,12 +115,12 @@ def run_once(duration_s: float, use_batch: bool = True,
 
 
 def run_best(duration_s: float, repeat: int, use_batch: bool = True,
-             compile_traces: bool = False) -> dict:
+             compile_traces: bool = False, recorder=None) -> dict:
     """Best (highest events/sec) of ``repeat`` runs."""
     best = None
     for _ in range(max(1, repeat)):
         result = run_once(duration_s, use_batch=use_batch,
-                          compile_traces=compile_traces)
+                          compile_traces=compile_traces, recorder=recorder)
         if best is None or result["events_per_s"] > best["events_per_s"]:
             best = result
     return best
@@ -218,6 +226,10 @@ def main() -> None:
     parser.add_argument("--output", default="BENCH_tcpu_trace.json",
                         help="artifact path for --compare-traces "
                              "(default: BENCH_tcpu_trace.json)")
+    parser.add_argument("--artifact", default="BENCH_event_throughput.json",
+                        help="artifact path for the plain measurement "
+                             "(default: BENCH_event_throughput.json; "
+                             "'-' skips writing)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions (best wall-clock rate is reported)")
     parser.add_argument("--profile", action="store_true",
@@ -253,6 +265,28 @@ def main() -> None:
         check = run_once(duration, use_batch=True, compile_traces=args.traces)
     assert check["events"] == best["events"], "event count must be deterministic"
     assert check["tpp_hops"] == best["tpp_hops"], "TPP hops must be deterministic"
+
+    # Track the headline number like the other artifacts: the plain
+    # measurement is the repo's events/sec trajectory across PRs.
+    if args.artifact != "-":
+        artifact = {
+            "benchmark": "bench_event_throughput",
+            "workload": {
+                "topology": "fat-tree k=4 (20 switches, 16 hosts)",
+                "tpp": TPP_SOURCE.replace("\n", "; "),
+                "duration_s": duration,
+                "burst_packets": BURST_PACKETS,
+                "burst_interval_s": BURST_INTERVAL_S,
+                "payload_bytes": PAYLOAD_BYTES,
+                "use_batch": use_batch,
+                "compile_traces": args.traces,
+                "repeat": args.repeat,
+            },
+            "result": best,
+            "determinism_check_identical": True,
+        }
+        _provenance.write_artifact(artifact, args.artifact)
+        print(f"  artifact written    : {args.artifact}")
 
 
 if __name__ == "__main__":

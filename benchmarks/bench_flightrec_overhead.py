@@ -1,0 +1,147 @@
+"""Macro-benchmark: what does the dataplane flight recorder cost?
+
+Runs the event-throughput workload (3-tier fat-tree, per-host cross-pod
+bursts, two-instruction TPP — see :mod:`bench_event_throughput`) three
+times over the identical simulated interval:
+
+* **off** — no recorder attached: the hooks are ``None``-guarded
+  attribute checks, i.e. the baseline every other benchmark measures;
+* **sampled** — ``RecorderSpec(sample_every=8)``: 1-in-8 flows recorded,
+  the always-on production posture;
+* **full** — ``RecorderSpec(sample_every=1)``: every packet's complete
+  journey, the forensic posture.
+
+Because the recorder is pure observation, all three runs must execute the
+*byte-identical* event sequence — the benchmark asserts equal event, TPP
+hop, and forwarded-packet totals before comparing wall-clock rates
+(overhead measured against a simulation that changed would be
+meaningless).  The headline gate: **sampled-mode overhead <= 10%** of the
+recorder-off events/sec, enforced on the best-of-``--repeat`` rates so a
+noisy scheduler tick doesn't fail a healthy build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_flightrec_overhead.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_flightrec_overhead.py \
+        --duration 0.02 --repeat 5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import _provenance
+import bench_event_throughput as baseline
+from repro.obs import RecorderSpec
+
+#: The acceptance gate: sampled-mode slowdown vs recorder-off.
+MAX_SAMPLED_OVERHEAD = 0.10
+
+#: Ring capacity per node — large enough that overwrite churn is realistic,
+#: small enough that memory stays bounded on the full posture.
+CAPACITY = 4096
+
+MODES = (
+    ("off", None),
+    ("sampled", RecorderSpec(capacity=CAPACITY, sample_every=8)),
+    ("full", RecorderSpec(capacity=CAPACITY, sample_every=1)),
+)
+
+
+def run_modes(duration_s: float, repeat: int) -> dict[str, dict]:
+    """Best-of-``repeat`` measurement per recorder mode.
+
+    Rounds are interleaved (off, sampled, full, off, sampled, full, ...)
+    rather than measured per mode, so transient machine noise lands on
+    every mode instead of skewing one — on a loaded single-core box a
+    sequential sweep can easily fake a 10% "overhead" out of thin air.
+    """
+    results: dict[str, dict] = {}
+    for _ in range(max(1, repeat)):
+        for name, spec in MODES:
+            run = baseline.run_once(duration_s, recorder=spec)
+            best = results.get(name)
+            if best is None or run["events_per_s"] > best["events_per_s"]:
+                results[name] = run
+    return results
+
+
+def overhead(off: dict, mode: dict) -> float:
+    """Fractional events/sec slowdown of ``mode`` relative to ``off``."""
+    return 1.0 - mode["events_per_s"] / off["events_per_s"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=10e-3,
+                        help="simulated seconds per mode (default 10ms)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 2ms of simulated time")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="interleaved rounds per mode; best events/sec "
+                             "wins (default 5)")
+    parser.add_argument("--output", default="BENCH_flightrec_overhead.json",
+                        help="artifact path "
+                             "(default: BENCH_flightrec_overhead.json)")
+    args = parser.parse_args()
+    duration = 2e-3 if args.quick else args.duration
+
+    results = run_modes(duration, args.repeat)
+    off = results["off"]
+
+    # Pure observation: the recorder must not perturb the simulation.
+    for name in ("sampled", "full"):
+        for field in ("events", "tpp_hops", "instructions",
+                      "packets_forwarded"):
+            assert results[name][field] == off[field], \
+                f"{name} recorder perturbed {field}: " \
+                f"{results[name][field]:,} vs {off[field]:,}"
+
+    overheads = {name: overhead(off, results[name])
+                 for name in ("sampled", "full")}
+
+    print(f"flight-recorder overhead, {duration * 1e3:g} ms simulated, "
+          f"best of {args.repeat} (fat-tree k=4, {off['events']:,} events "
+          f"per run, identical across modes)")
+    for name, _ in MODES:
+        result = results[name]
+        extra = "" if name == "off" else \
+            f"  overhead {overheads[name] * 100:+6.2f}%"
+        print(f"  {name:<8s} {result['events_per_s']:>12,.0f} events/s"
+              f"{extra}")
+
+    gate_ok = overheads["sampled"] <= MAX_SAMPLED_OVERHEAD
+    print(f"  gate: sampled overhead {overheads['sampled'] * 100:.2f}% "
+          f"<= {MAX_SAMPLED_OVERHEAD * 100:.0f}% -> "
+          f"{'OK' if gate_ok else 'FAIL'}")
+
+    artifact = {
+        "benchmark": "bench_flightrec_overhead",
+        "workload": {
+            "topology": "fat-tree k=4 (20 switches, 16 hosts)",
+            "tpp": baseline.TPP_SOURCE.replace("\n", "; "),
+            "duration_s": duration,
+            "repeat": args.repeat,
+            "capacity": CAPACITY,
+            "sampled_every": 8,
+        },
+        "modes": results,
+        "overhead": {name: round(value, 4)
+                     for name, value in overheads.items()},
+        "identical_totals": True,
+        "gate": {
+            "max_sampled_overhead": MAX_SAMPLED_OVERHEAD,
+            "measured": round(overheads["sampled"], 4),
+            "passed": gate_ok,
+        },
+    }
+    _provenance.write_artifact(artifact, args.output)
+    print(f"  artifact written    : {args.output}")
+
+    assert gate_ok, \
+        f"sampled-mode overhead {overheads['sampled'] * 100:.2f}% exceeds " \
+        f"the {MAX_SAMPLED_OVERHEAD * 100:.0f}% budget"
+
+
+if __name__ == "__main__":
+    main()

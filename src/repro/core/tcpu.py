@@ -196,6 +196,24 @@ class ExecutionResult:
         """True when any instruction was skipped because packet memory ran out."""
         return InstructionStatus.SKIPPED_PACKET_FULL in self.statuses
 
+    @property
+    def status_label(self) -> str:
+        """A one-word outcome summary, worst condition first.
+
+        Observers (the flight recorder's tpp-exec records) want a compact
+        label, not the per-instruction status list: ``halted`` (CEXEC guard
+        failed, §3.3), ``out-of-room`` (packet memory exhausted at this
+        hop), ``write-disabled`` (a store suppressed by the administrator
+        knob of §4.3), or ``ok``.
+        """
+        if self.halted:
+            return "halted"
+        if self.packet_full:
+            return "out-of-room"
+        if InstructionStatus.SKIPPED_WRITE_DISABLED in self.statuses:
+            return "write-disabled"
+        return "ok"
+
     def __bool__(self) -> bool:
         return not self.halted
 

@@ -63,6 +63,10 @@ class Link:
         self.down_transitions = 0
         self.up_transitions = 0
         self.last_transition_time: Optional[float] = None
+        # Flight-recorder tap (repro.obs.flightrec): fault transitions on
+        # this link become context records for drop forensics.  None by
+        # default; every use below is guarded.
+        self.recorder = None
         port_a.attach(self, port_b)
         port_b.attach(self, port_a)
 
@@ -88,12 +92,17 @@ class Link:
         if not self.up or not from_port.up:
             # Send-side failure: mirrors Port.send's link-down accounting.
             queue = from_port.queue
+            recorder = from_port.recorder
             for packet in packets:
                 packet.dropped = True
                 packet.drop_reason = f"link down at {from_port.name}"
                 queue.packets_dropped_total += 1
                 queue.bytes_dropped_total += packet.size
                 from_port.count_drop(DROP_LINK_DOWN)
+                if recorder is not None:
+                    recorder.on_drop(from_port.name, from_port.node.name,
+                                     packet, DROP_LINK_DOWN,
+                                     packet.drop_reason)
             return 0
         burst_bytes = 0
         for packet in packets:
@@ -106,17 +115,30 @@ class Link:
         if not peer.up:
             # Receive-side failure: the burst was "serialised" (tx and link
             # counters above stand), then lost — mirrors _deliver_to_peer.
+            # Like the counters, the drop record lands at the *sending*
+            # port: the downed receive side never saw the packet.
+            recorder = from_port.recorder
             for packet in packets:
                 packet.dropped = True
                 packet.drop_reason = "peer port down"
                 from_port.count_drop(DROP_PEER_DOWN)
+                if recorder is not None:
+                    recorder.on_drop(from_port.name, from_port.node.name,
+                                     packet, DROP_PEER_DOWN,
+                                     packet.drop_reason)
             return 0
         if self.loss_rate:
+            recorder = peer.recorder
             survivors = []
             for packet in packets:
                 if self.corrupt(packet):
+                    # Corruption is a failed CRC at the *receiving* port —
+                    # the asymmetry the loss-localization TPP measures.
                     peer.error_packets += 1
                     peer.count_drop(DROP_CORRUPTED)
+                    if recorder is not None:
+                        recorder.on_drop(peer.name, peer.node.name, packet,
+                                         DROP_CORRUPTED, packet.drop_reason)
                 else:
                     survivors.append(packet)
             packets = survivors
@@ -126,6 +148,10 @@ class Link:
                 return 0
         peer.rx_bytes += burst_bytes
         peer.rx_packets += count
+        recorder = peer.recorder
+        if recorder is not None:
+            for packet in packets:
+                recorder.on_deliver(peer, packet)
         receive_batch = getattr(peer.node, "receive_batch", None)
         if receive_batch is not None:
             receive_batch(packets, peer)
@@ -150,10 +176,14 @@ class Link:
             self._loss_rng = rng
         elif self.loss_rate and self._loss_rng is None:
             self._loss_rng = random.Random(self.name)
+        if self.recorder is not None:
+            self.recorder.on_fault(self, "set-loss", loss_rate)
 
     def clear_loss(self) -> None:
         """Stop corrupting (the counters stand; the rng stream is kept)."""
         self.loss_rate = 0.0
+        if self.recorder is not None:
+            self.recorder.on_fault(self, "clear-loss", 0.0)
 
     def corrupt(self, packet: "Packet") -> bool:
         """One Bernoulli draw for a packet reaching the far end of the wire.
@@ -179,12 +209,16 @@ class Link:
             self.up = False
             self.down_transitions += 1
             self.last_transition_time = self.port_a.sim.now
+            if self.recorder is not None:
+                self.recorder.on_fault(self, "set-down")
 
     def set_up(self) -> None:
         if not self.up:
             self.up = True
             self.up_transitions += 1
             self.last_transition_time = self.port_a.sim.now
+            if self.recorder is not None:
+                self.recorder.on_fault(self, "set-up")
 
     def other_end(self, port: "Port") -> "Port":
         """The port at the opposite end of ``port``."""

@@ -34,6 +34,9 @@ class Node:
         self.sim = sim
         self.name = name
         self.ports: list[Port] = []
+        # Flight-recorder tap (repro.obs.flightrec); None by default, every
+        # record site guards on it so untapped nodes pay one attribute load.
+        self.recorder = None
 
     def add_port(self, queue_capacity_bytes: int = 512 * 1024,
                  queue_capacity_packets: Optional[int] = None) -> Port:
@@ -97,6 +100,10 @@ class Host(Node):
         self.packets_sent += 1
         self.bytes_sent += packet.size
         packet.record_hop(self.name)
+        if self.recorder is not None:
+            # After the tx hooks: the recorder sees the packet as it enters
+            # the wire path, TPP attached.
+            self.recorder.on_host_send(self, packet)
         return self.uplink_port.send(packet)
 
     def send_many(self, packets: list[Packet]) -> int:
@@ -124,6 +131,8 @@ class Host(Node):
             self.packets_sent += 1
             self.bytes_sent += packet.size
             packet.record_hop(name)
+            if self.recorder is not None:
+                self.recorder.on_host_send(self, packet)
             accepted.append(packet)
         if not accepted:
             return 0

@@ -108,6 +108,10 @@ class Port:
         self.queue = EgressQueue(queue_capacity_bytes, queue_capacity_packets)
         self.transmitting = False
         self.up = True
+        # Flight-recorder tap (repro.obs.flightrec).  None by default: every
+        # hook site below guards on it, so an untapped port runs exactly the
+        # pre-recorder code path (the recorder-off byte-identity invariant).
+        self.recorder = None
         # Raw counters (the switch statistics layer derives rates from these).
         self.tx_bytes = 0
         self.tx_packets = 0
@@ -160,15 +164,23 @@ class Port:
             self.queue.packets_dropped_total += 1
             self.queue.bytes_dropped_total += packet.size
             self.count_drop(DROP_LINK_DOWN)
+            if self.recorder is not None:
+                self.recorder.on_drop(self._name, self.node.name, packet,
+                                      DROP_LINK_DOWN, packet.drop_reason)
             return False
         accepted = self.queue.enqueue(packet)
         if not accepted:
             packet.dropped = True
             packet.drop_reason = f"queue overflow at {self.name}"
             self.count_drop(DROP_QUEUE_OVERFLOW)
+            if self.recorder is not None:
+                self.recorder.on_drop(self._name, self.node.name, packet,
+                                      DROP_QUEUE_OVERFLOW, packet.drop_reason)
             self.node.on_packet_dropped(packet, self)
             return False
         packet.enqueue_times.append(self.sim.now)
+        if self.recorder is not None:
+            self.recorder.on_enqueue(self, packet)
         if not self.transmitting:
             self._start_transmission()
         return True
@@ -186,6 +198,7 @@ class Port:
         """
         if self.link is None or self.peer is None:
             raise RuntimeError(f"port {self.name} is not connected")
+        recorder = self.recorder
         if not self.up or not self.link.up:
             queue = self.queue
             for packet in packets:
@@ -194,6 +207,9 @@ class Port:
                 queue.packets_dropped_total += 1
                 queue.bytes_dropped_total += packet.size
                 self.count_drop(DROP_LINK_DOWN)
+                if recorder is not None:
+                    recorder.on_drop(self._name, self.node.name, packet,
+                                     DROP_LINK_DOWN, packet.drop_reason)
             return 0
         queue = self.queue
         now = self.sim.now
@@ -202,12 +218,17 @@ class Port:
             if queue.enqueue(packet):
                 packet.enqueue_times.append(now)
                 accepted += 1
+                if recorder is not None:
+                    recorder.on_enqueue(self, packet)
                 if not self.transmitting:
                     self._start_transmission()
             else:
                 packet.dropped = True
                 packet.drop_reason = f"queue overflow at {self.name}"
                 self.count_drop(DROP_QUEUE_OVERFLOW)
+                if recorder is not None:
+                    recorder.on_drop(self._name, self.node.name, packet,
+                                     DROP_QUEUE_OVERFLOW, packet.drop_reason)
                 self.node.on_packet_dropped(packet, self)
         return accepted
 
@@ -216,6 +237,8 @@ class Port:
         if packet is None:
             self.transmitting = False
             return
+        if self.recorder is not None:
+            self.recorder.on_dequeue(self, packet)
         self.transmitting = True
         tx_time = packet.transmission_time(self.link.rate_bps)
         self.sim.schedule(tx_time, self._finish_transmission, packet,
@@ -226,6 +249,8 @@ class Port:
         self.tx_packets += 1
         self.link.on_transmit(packet, self)
         next_packet = self.queue.dequeue()
+        if next_packet is not None and self.recorder is not None:
+            self.recorder.on_dequeue(self, next_packet)
         if next_packet is None:
             # Propagate to the peer after the link delay; transmitter idles.
             self.transmitting = False
@@ -248,6 +273,11 @@ class Port:
             packet.dropped = True
             packet.drop_reason = "peer port down"
             self.count_drop(DROP_PEER_DOWN)
+            if self.recorder is not None:
+                # Counted at the *sending* port — the receive side never saw
+                # the packet (see deliver_burst's asymmetry note).
+                self.recorder.on_drop(self._name, self.node.name, packet,
+                                      DROP_PEER_DOWN, packet.drop_reason)
             return
         link = self.link
         if link.loss_rate and link.corrupt(packet):
@@ -257,9 +287,14 @@ class Port:
             # exactly what the loss-localization TPP diffs across hops.
             peer.error_packets += 1
             peer.count_drop(DROP_CORRUPTED)
+            if peer.recorder is not None:
+                peer.recorder.on_drop(peer._name, peer.node.name, packet,
+                                      DROP_CORRUPTED, packet.drop_reason)
             return
         peer.rx_bytes += packet.size
         peer.rx_packets += 1
+        if peer.recorder is not None:
+            peer.recorder.on_deliver(peer, packet)
         peer.node.receive(packet, peer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

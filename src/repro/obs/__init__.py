@@ -19,14 +19,19 @@ Quick start::
     obs.write_trace(telemetry, "run.json")  # load in ui.perfetto.dev
 """
 
-from .perfetto import trace_events, write_trace
+from .flightrec import (DropExplanation, FlightRecorder, JourneyLog,
+                        PacketJourney, RecorderSpec)
+from .perfetto import (network_trace_events, trace_events,
+                       write_network_trace, write_trace)
 from .provenance import config_fingerprint, provenance, stamp
 from .telemetry import (Counter, Gauge, Histogram, MetricsRegistry,
                         NULL_TELEMETRY, Span, Telemetry, get_telemetry,
                         set_telemetry, use)
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_TELEMETRY",
-    "Span", "Telemetry", "config_fingerprint", "get_telemetry", "provenance",
-    "set_telemetry", "stamp", "trace_events", "use", "write_trace",
+    "Counter", "DropExplanation", "FlightRecorder", "Gauge", "Histogram",
+    "JourneyLog", "MetricsRegistry", "NULL_TELEMETRY", "PacketJourney",
+    "RecorderSpec", "Span", "Telemetry", "config_fingerprint",
+    "get_telemetry", "network_trace_events", "provenance", "set_telemetry",
+    "stamp", "trace_events", "use", "write_network_trace", "write_trace",
 ]

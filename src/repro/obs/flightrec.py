@@ -1,0 +1,558 @@
+"""repro.obs.flightrec — the dataplane flight recorder.
+
+The paper's promise is *visibility*: an operator should be able to ask
+"what happened to this packet, hop by hop?".  Aggregate counters
+(``Port.drops_by_reason``, ``ExperimentResult.drop_reasons``) answer *how
+many*; the flight recorder answers *which packet*, *where in the
+pipeline*, and *why this one* — the NetSight-style postcard log, kept
+inside the simulator instead of reconstructed from the wire.
+
+Design:
+
+* **Hooks, not wrappers.**  Every dataplane object that can touch a packet
+  (``Host``, ``Port``, ``Link``, ``TPPSwitch``) carries a ``recorder``
+  attribute that is ``None`` by default.  Each lifecycle site — host send,
+  port enqueue/dequeue, link deliver, every ``drops_by_reason`` drop site,
+  switch receive, TPP execution — guards its record call with one
+  ``is not None`` check.  With no recorder attached the dataplane executes
+  exactly the pre-recorder code (the recorder-off byte-identity invariant,
+  differential-tested on all six apps).
+* **Bounded rings.**  Records land in per-node ring buffers
+  (``deque(maxlen=capacity)``); overwrites are counted, never silent.
+* **Compact tuple records.**  One record is a flat 9-tuple
+  ``(seq, time, node, kind, packet_id, flow_id, site, a, b)`` — no objects
+  on the hot path.  ``seq`` is a recorder-wide monotone sequence so records
+  with equal timestamps keep their true order.
+* **Policies.**  :class:`RecorderSpec` declares sampling (1-in-N flows by
+  stable flow-id hash: a sampled flow is recorded at *every* hop, an
+  unsampled one at none, so journeys are never partial), an app filter
+  (record only packets carrying a TPP of the named applications), a link
+  filter (tap only ports attached to the named links), and the ring
+  capacity.  **Drop records bypass flow sampling** — forensics stay
+  complete even at sample_every=1000 — but respect the app/link filters.
+* **Recording is pure observation.**  No random draws, no scheduled
+  events, no packet mutation: a run with the recorder on is byte-identical
+  (event totals, canonical ResultSummary JSON) to the same run with it
+  off.
+
+Record kinds and their ``site`` / ``a`` / ``b`` slots::
+
+    host-send    host name        size            dst
+    enqueue      port name        occupancy_pkts  occupancy_bytes (after)
+    dequeue      port name        occupancy_pkts  occupancy_bytes (after)
+    deliver      rx port name     size            link name
+    switch-recv  switch name      input port idx  size
+    tpp-exec     switch name      status label    executed instruction count
+    drop         port/switch name drop category   human-readable reason
+    fault        link name        action          detail (loss rate / None)
+
+Query API: :meth:`JourneyLog.journey` (one packet's ordered hop records),
+:meth:`JourneyLog.trace_flow` (every sampled packet of a flow),
+:meth:`JourneyLog.explain_drop` (ordered hop records + the terminal drop
+site/category/reason, with the nearest preceding fault record on the same
+site as context).  A :class:`JourneyLog` is a picklable snapshot — it
+crosses process boundaries on :class:`~repro.session.ResultSummary`, so
+sweep workers ship journeys home.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.tcpu import ExecutionResult
+    from repro.net.link import Link
+    from repro.net.node import Host, Node
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+    from repro.net.sim import Simulator
+    from repro.net.topology import Network
+    from repro.switches.switch import TPPSwitch
+
+__all__ = [
+    "DropExplanation", "FlightRecorder", "JourneyLog", "PacketJourney",
+    "RecorderSpec",
+    "REC_SEQ", "REC_TIME", "REC_NODE", "REC_KIND", "REC_PACKET", "REC_FLOW",
+    "REC_SITE", "REC_A", "REC_B",
+    "HOST_SEND", "ENQUEUE", "DEQUEUE", "DELIVER", "SWITCH_RECV", "TPP_EXEC",
+    "DROP", "FAULT",
+]
+
+# Tuple slots of one record.
+REC_SEQ, REC_TIME, REC_NODE, REC_KIND = 0, 1, 2, 3
+REC_PACKET, REC_FLOW, REC_SITE, REC_A, REC_B = 4, 5, 6, 7, 8
+
+# Record kinds.
+HOST_SEND = "host-send"
+ENQUEUE = "enqueue"
+DEQUEUE = "dequeue"
+DELIVER = "deliver"
+SWITCH_RECV = "switch-recv"
+TPP_EXEC = "tpp-exec"
+DROP = "drop"
+FAULT = "fault"
+
+#: Kinds that end a packet's journey.
+_TERMINAL_KINDS = (DELIVER, DROP)
+
+
+def _flow_hash(flow_id: int) -> int:
+    """A stable (cross-process, cross-run) 32-bit hash of a flow id.
+
+    Python's builtin ``hash`` is salted for strings and identity for small
+    ints; neither gives a uniform, process-stable 1-in-N split, so the
+    sampler hashes the flow id's bytes instead.
+    """
+    raw = flow_id.to_bytes(16, "little", signed=True)
+    return int.from_bytes(hashlib.blake2b(raw, digest_size=4).digest(),
+                          "little")
+
+
+@dataclass(frozen=True)
+class RecorderSpec:
+    """The flight-recorder policy a scenario declares (picklable).
+
+    Args:
+        capacity: per-node ring-buffer size in records; the oldest record
+            is overwritten (and counted) when a node's ring is full.
+        sample_every: record 1 in N flows, chosen by a stable hash of the
+            flow id — all packets of a sampled flow are recorded at every
+            hop, packets of unsampled flows only at drop sites.  ``1``
+            records every flow.
+        apps: record only packets carrying a TPP that belongs to one of
+            these application names (resolved to app ids at attach time).
+            ``None`` records everything, TPP-less packets included.
+        links: tap only ports attached to these link names (port-level
+            events — enqueue/dequeue/deliver/drops — elsewhere are not
+            recorded; node-level events are unaffected).  ``None`` taps
+            every port.
+    """
+
+    capacity: int = 4096
+    sample_every: int = 1
+    apps: Optional[tuple[str, ...]] = None
+    links: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"recorder capacity must be >= 1, "
+                             f"got {self.capacity}")
+        if self.sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, "
+                             f"got {self.sample_every}")
+        for name, value in (("apps", self.apps), ("links", self.links)):
+            if value is not None:
+                if isinstance(value, str):
+                    raise ValueError(f"{name} must be a sequence of names, "
+                                     f"not a bare string")
+                object.__setattr__(self, name, tuple(value))
+                if not getattr(self, name):
+                    raise ValueError(f"{name} filter cannot be empty; "
+                                     f"use None to record everything")
+
+
+@dataclass
+class PacketJourney:
+    """One packet's ordered lifecycle records (the answer to "what
+    happened to packet N?")."""
+
+    packet_id: int
+    flow_id: int
+    records: list[tuple]
+
+    @property
+    def hops(self) -> list[str]:
+        """Node names in first-visit order."""
+        seen: list[str] = []
+        for record in self.records:
+            if not seen or seen[-1] != record[REC_NODE]:
+                seen.append(record[REC_NODE])
+        return seen
+
+    @property
+    def terminal(self) -> Optional[tuple]:
+        """The journey's last terminal record (deliver or drop), if any."""
+        for record in reversed(self.records):
+            if record[REC_KIND] in _TERMINAL_KINDS:
+                return record
+        return None
+
+    @property
+    def dropped(self) -> bool:
+        terminal = self.terminal
+        return terminal is not None and terminal[REC_KIND] == DROP
+
+    @property
+    def delivered(self) -> bool:
+        terminal = self.terminal
+        return terminal is not None and terminal[REC_KIND] == DELIVER
+
+    @property
+    def drop_reason(self) -> Optional[str]:
+        terminal = self.terminal
+        if terminal is not None and terminal[REC_KIND] == DROP:
+            return terminal[REC_B]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fate = "dropped" if self.dropped else \
+            ("delivered" if self.delivered else "in-flight")
+        return (f"<PacketJourney #{self.packet_id} flow={self.flow_id} "
+                f"{len(self.records)} records via {self.hops} {fate}>")
+
+
+@dataclass
+class DropExplanation:
+    """Why one packet died: its hop records plus the terminal drop."""
+
+    packet_id: int
+    flow_id: int
+    time: float
+    site: str                      # port/switch name where the drop landed
+    category: str                  # canonical category (repro.net.port.DROP_*)
+    reason: str                    # the human-readable drop_reason string
+    records: list[tuple]           # the packet's ordered records, drop last
+    fault_context: Optional[tuple] = None   # nearest preceding FAULT record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DropExplanation #{self.packet_id} {self.category!r} at "
+                f"{self.site} t={self.time:.6f} after "
+                f"{len(self.records) - 1} hops>")
+
+
+class JourneyLog:
+    """A picklable, queryable snapshot of recorded flight records.
+
+    Built by :meth:`FlightRecorder.log` (and shipped on
+    :class:`~repro.session.ResultSummary.flightrec`); holds plain tuples
+    plus the recorder's counters, so it pickles across process boundaries
+    and the query API works identically in a sweep parent.
+    """
+
+    def __init__(self, records: list[tuple], stats: dict) -> None:
+        self.records = records                     # sorted by seq
+        self.stats = stats
+        self._by_packet: Optional[dict[int, list[tuple]]] = None
+
+    # ------------------------------------------------------------- indexing
+    def _packet_index(self) -> dict[int, list[tuple]]:
+        if self._by_packet is None:
+            index: dict[int, list[tuple]] = {}
+            for record in self.records:
+                index.setdefault(record[REC_PACKET], []).append(record)
+            self._by_packet = index
+        return self._by_packet
+
+    def __getstate__(self) -> dict:
+        return {"records": self.records, "stats": self.stats}
+
+    def __setstate__(self, state: dict) -> None:
+        self.records = state["records"]
+        self.stats = state["stats"]
+        self._by_packet = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -------------------------------------------------------------- queries
+    def journey(self, packet_id: int) -> Optional[PacketJourney]:
+        """The ordered lifecycle of one packet, or None if never recorded."""
+        records = self._packet_index().get(packet_id)
+        if not records:
+            return None
+        return PacketJourney(packet_id=packet_id,
+                             flow_id=records[0][REC_FLOW],
+                             records=list(records))
+
+    def trace_flow(self, flow_id: int) -> list[PacketJourney]:
+        """Every recorded packet of one flow, in first-record order."""
+        journeys: dict[int, list[tuple]] = {}
+        for record in self.records:
+            if record[REC_FLOW] == flow_id and record[REC_KIND] != FAULT:
+                journeys.setdefault(record[REC_PACKET], []).append(record)
+        return [PacketJourney(packet_id=pid, flow_id=flow_id, records=recs)
+                for pid, recs in sorted(journeys.items(),
+                                        key=lambda kv: kv[1][0][REC_SEQ])]
+
+    def drops(self) -> list[tuple]:
+        """Every recorded drop record, in seq order."""
+        return [record for record in self.records
+                if record[REC_KIND] == DROP]
+
+    def explain_drop(self, packet_id: Optional[int] = None, *,
+                     category: Optional[str] = None,
+                     site: Optional[str] = None):
+        """Drop forensics: ordered hop records plus the terminal reason.
+
+        With ``packet_id``, returns one :class:`DropExplanation` (or
+        ``None`` when that packet was not recorded as dropped).  Without,
+        returns the list of explanations for every recorded drop,
+        optionally filtered by canonical ``category`` (e.g.
+        ``"queue-overflow"``) and/or ``site`` substring.
+        """
+        if packet_id is not None:
+            journey = self.journey(packet_id)
+            if journey is None or not journey.dropped:
+                return None
+            return self._explain(journey)
+        explanations = []
+        for record in self.drops():
+            if category is not None and record[REC_A] != category:
+                continue
+            if site is not None and site not in record[REC_SITE]:
+                continue
+            journey = self.journey(record[REC_PACKET])
+            if journey is not None and journey.dropped:
+                explanations.append(self._explain(journey))
+        return explanations
+
+    def _explain(self, journey: PacketJourney) -> DropExplanation:
+        terminal = journey.terminal
+        fault = None
+        for record in self.records:            # seq order: keep the latest
+            if record[REC_KIND] != FAULT or record[REC_SEQ] > terminal[REC_SEQ]:
+                continue
+            # A fault on link "a<->b" is context for drops at either end.
+            if terminal[REC_SITE] in record[REC_SITE] \
+                    or record[REC_SITE] in terminal[REC_B]:
+                fault = record
+        return DropExplanation(
+            packet_id=journey.packet_id, flow_id=journey.flow_id,
+            time=terminal[REC_TIME], site=terminal[REC_SITE],
+            category=terminal[REC_A], reason=terminal[REC_B],
+            records=list(journey.records), fault_context=fault)
+
+    def packets(self) -> list[int]:
+        """Every recorded packet id, in first-record order."""
+        seen: dict[int, None] = {}
+        for record in self.records:
+            if record[REC_KIND] != FAULT:
+                seen.setdefault(record[REC_PACKET])
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<JourneyLog {len(self.records)} records, "
+                f"{len(self._packet_index())} packets>")
+
+
+class FlightRecorder:
+    """The live recorder: per-node rings fed by the dataplane hook sites.
+
+    Create one from a :class:`RecorderSpec`, then :meth:`attach` it to a
+    built :class:`~repro.net.topology.Network` (or :meth:`attach_nodes`
+    for hand-built micro-topologies).  Detach by never attaching — the
+    dataplane's ``recorder`` attributes default to ``None`` and the hook
+    sites cost a single attribute check when unset.
+    """
+
+    def __init__(self, spec: Optional[RecorderSpec] = None) -> None:
+        self.spec = spec if spec is not None else RecorderSpec()
+        self._sim: Optional["Simulator"] = None
+        self._rings: dict[str, deque] = {}
+        self._capacity = self.spec.capacity
+        self._seq = 0
+        # Sampling state: app-name filter resolved to app ids at attach,
+        # flow pass/fail memoised per flow id (one blake2b per flow, ever).
+        self._app_ids: Optional[frozenset[int]] = None
+        self._sample_every = self.spec.sample_every
+        self._flow_pass_memo: dict[int, bool] = {}
+        # Accounting.
+        self.records_written = 0
+        self.records_overwritten = 0
+        self.drops_recorded = 0
+        self.drop_counts: dict[str, int] = {}
+        self.nodes_attached = 0
+        self.ports_tapped = 0
+
+    # ------------------------------------------------------------ attachment
+    def attach(self, network: "Network",
+               app_ids: Optional[Iterable[int]] = None) -> "FlightRecorder":
+        """Install this recorder on every node/port/link of a network.
+
+        ``app_ids`` are the resolved application ids for the spec's
+        ``apps`` filter (the session layer resolves names to ids after TPP
+        deployment); with an ``apps`` filter and no ids the filter matches
+        nothing, which is the right failure mode for a typo'd app name.
+        """
+        self.attach_nodes(network.sim, network.nodes.values())
+        if app_ids is not None:
+            self._app_ids = frozenset(app_ids)
+        return self
+
+    def attach_nodes(self, sim: "Simulator",
+                     nodes: Iterable["Node"]) -> "FlightRecorder":
+        """Lower-level attach for hand-built topologies (tests, tools)."""
+        self._sim = sim
+        tap_links = set(self.spec.links) if self.spec.links is not None \
+            else None
+        for node in nodes:
+            node.recorder = self
+            self.nodes_attached += 1
+            for port in node.ports:
+                link = port.link
+                if tap_links is not None:
+                    if link is None or link.name not in tap_links:
+                        continue
+                port.recorder = self
+                self.ports_tapped += 1
+                if link is not None:
+                    link.recorder = self       # fault context on tapped links
+        if self.spec.apps is not None and self._app_ids is None:
+            self._app_ids = frozenset()
+        return self
+
+    # --------------------------------------------------------------- filters
+    def _wants(self, packet: "Packet") -> bool:
+        # One flat function, no helper calls: this runs for every packet at
+        # every hook site, and on the dominant unsampled-flow path its cost
+        # IS the recorder's overhead (see bench_flightrec_overhead.py).
+        if self._sample_every > 1:
+            flow_id = packet.flow_id
+            memo = self._flow_pass_memo
+            passed = memo.get(flow_id)
+            if passed is None:
+                passed = memo[flow_id] = \
+                    _flow_hash(flow_id) % self._sample_every == 0
+            if not passed:
+                return False
+        if self._app_ids is not None:
+            tpp = packet.tpp
+            return tpp is not None and tpp.app_id in self._app_ids
+        return True
+
+    def _app_pass(self, packet: "Packet") -> bool:
+        """The app filter alone — the drop hook's sampling bypass."""
+        if self._app_ids is None:
+            return True
+        tpp = packet.tpp
+        return tpp is not None and tpp.app_id in self._app_ids
+
+    # --------------------------------------------------------------- writing
+    def _append(self, node: str, kind: str, packet_id: int, flow_id: int,
+                site: str, a, b) -> None:
+        ring = self._rings.get(node)
+        if ring is None:
+            ring = self._rings[node] = deque(maxlen=self._capacity)
+        elif len(ring) == self._capacity:
+            self.records_overwritten += 1
+        self._seq += 1
+        ring.append((self._seq, self._sim.now, node, kind, packet_id,
+                     flow_id, site, a, b))
+        self.records_written += 1
+
+    # ------------------------------------------------------------ hook sites
+    # Each is called from exactly one dataplane site, behind the caller's
+    # ``recorder is not None`` guard.  Keep them allocation-light.
+    def on_host_send(self, host: "Host", packet: "Packet") -> None:
+        if self._wants(packet):
+            self._append(host.name, HOST_SEND, packet.packet_id,
+                         packet.flow_id, host.name, packet.size, packet.dst)
+
+    def on_enqueue(self, port: "Port", packet: "Packet") -> None:
+        if self._wants(packet):
+            queue = port.queue
+            self._append(port.node.name, ENQUEUE, packet.packet_id,
+                         packet.flow_id, port.name,
+                         queue.occupancy_packets, queue.occupancy_bytes)
+
+    def on_dequeue(self, port: "Port", packet: "Packet") -> None:
+        if self._wants(packet):
+            queue = port.queue
+            self._append(port.node.name, DEQUEUE, packet.packet_id,
+                         packet.flow_id, port.name,
+                         queue.occupancy_packets, queue.occupancy_bytes)
+
+    def on_deliver(self, rx_port: "Port", packet: "Packet") -> None:
+        if self._wants(packet):
+            link = rx_port.link
+            self._append(rx_port.node.name, DELIVER, packet.packet_id,
+                         packet.flow_id, rx_port.name, packet.size,
+                         link.name if link is not None else "")
+
+    def on_switch_recv(self, switch: "TPPSwitch", packet: "Packet",
+                       in_index: int) -> None:
+        if self._wants(packet):
+            self._append(switch.name, SWITCH_RECV, packet.packet_id,
+                         packet.flow_id, switch.name, in_index, packet.size)
+
+    def on_tpp_exec(self, switch: "TPPSwitch", packet: "Packet",
+                    execution: "ExecutionResult") -> None:
+        if self._wants(packet):
+            self._append(switch.name, TPP_EXEC, packet.packet_id,
+                         packet.flow_id, switch.name, execution.status_label,
+                         execution.executed_count)
+
+    def on_drop(self, site: str, node: str, packet: "Packet",
+                category: str, reason: str) -> None:
+        """One packet died at ``site`` (a port or switch name).
+
+        Drop records bypass flow sampling — the forensic log stays
+        complete under aggressive sampling — but honour the app filter.
+        """
+        if not self._app_pass(packet):
+            return
+        self._append(node, DROP, packet.packet_id, packet.flow_id,
+                     site, category, reason)
+        self.drops_recorded += 1
+        self.drop_counts[category] = self.drop_counts.get(category, 0) + 1
+
+    def on_fault(self, link: "Link", action: str, detail=None) -> None:
+        """A link state change (set_down / set_up / set_loss / clear_loss).
+
+        Recorded under the link's ``port_a`` node so fault context rides
+        the same rings; ``explain_drop`` surfaces the nearest preceding
+        fault on the drop's link as ``fault_context``.
+        """
+        if self._sim is None:       # links attach before sim in odd setups
+            return
+        self._append(link.port_a.node.name, FAULT, 0, 0, link.name,
+                     action, detail)
+
+    # ------------------------------------------------------------- snapshots
+    def stats(self) -> dict:
+        """Picklable accounting counters (the result's side channel)."""
+        return {
+            "records_written": self.records_written,
+            "records_overwritten": self.records_overwritten,
+            "records_retained": sum(len(ring)
+                                    for ring in self._rings.values()),
+            "drops_recorded": self.drops_recorded,
+            "drop_counts": dict(sorted(self.drop_counts.items())),
+            "nodes_attached": self.nodes_attached,
+            "ports_tapped": self.ports_tapped,
+            "capacity": self._capacity,
+            "sample_every": self._sample_every,
+            "flows_seen": len(self._flow_pass_memo) if self._sample_every > 1
+            else None,
+            "flows_sampled": sum(self._flow_pass_memo.values())
+            if self._sample_every > 1 else None,
+        }
+
+    def log(self) -> JourneyLog:
+        """A picklable snapshot of everything currently retained."""
+        merged: list[tuple] = []
+        for ring in self._rings.values():
+            merged.extend(ring)
+        merged.sort()                              # tuples sort by seq first
+        return JourneyLog(merged, self.stats())
+
+    # Convenience: query the live rings without an explicit snapshot.
+    def journey(self, packet_id: int) -> Optional[PacketJourney]:
+        return self.log().journey(packet_id)
+
+    def trace_flow(self, flow_id: int) -> list[PacketJourney]:
+        return self.log().trace_flow(flow_id)
+
+    def explain_drop(self, packet_id: Optional[int] = None, **filters):
+        return self.log().explain_drop(packet_id, **filters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlightRecorder {self.records_written} written "
+                f"({self.records_overwritten} overwritten) over "
+                f"{len(self._rings)} nodes>")

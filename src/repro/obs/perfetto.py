@@ -11,7 +11,16 @@ main track (tid 0) exactly as they nested at runtime.  Overlapping
 label and each distinct label gets its own tid row, so the sweep pool's
 concurrent tasks render side by side instead of as bogus nesting.
 
-The shape emitted here is deliberately minimal — exactly what
+The second exporter, :func:`network_trace_events`, renders a flight
+recorder's :class:`~repro.obs.flightrec.JourneyLog` — *simulated* time, not
+wall-clock: one thread track per node carrying packet lifelines as "X"
+slices (first to last record of each packet at that node), plus counter
+("C") tracks for queue occupancy at every recorded enqueue/dequeue and
+time-binned link utilization in Mbit/s.  A whole experiment opens in the
+Perfetto UI: queue buildup, the microburst, and the drop that ended a
+journey line up on one timeline.
+
+The shapes emitted here are deliberately minimal — exactly what
 ``tools/check_trace_schema.py`` validates in CI.
 """
 
@@ -19,12 +28,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .flightrec import JourneyLog
     from .telemetry import Telemetry
 
-__all__ = ["trace_events", "write_trace"]
+__all__ = ["network_trace_events", "trace_events", "write_network_trace",
+           "write_trace"]
 
 #: The tid of the main (stacked-span) track.
 MAIN_TRACK_TID = 0
@@ -85,6 +96,118 @@ def write_trace(telemetry: "Telemetry", path: Union[str, Path], *,
     trace = {
         "traceEvents": trace_events(telemetry, pid=pid,
                                     process_name=process_name),
+        "displayTimeUnit": "ms",
+    }
+    Path(path).write_text(json.dumps(trace, indent=2) + "\n", encoding="utf-8")
+    return trace
+
+
+# --------------------------------------------------------------------------
+# Network timelines: flight-recorder journeys as a Perfetto trace.
+# --------------------------------------------------------------------------
+
+def network_trace_events(log: "JourneyLog", *, pid: int = 2,
+                         process_name: str = "repro.network",
+                         utilization_bin_s: Optional[float] = None
+                         ) -> list[dict]:
+    """A :class:`~repro.obs.flightrec.JourneyLog` as trace events.
+
+    Timestamps are *simulation* microseconds relative to the log's earliest
+    record.  Three families of events:
+
+    * one thread track per node (sorted for determinism), carrying each
+      recorded packet's lifeline at that node as an "X" slice from its
+      first to its last record there, with the journey's records count and
+      terminal kind in ``args``;
+    * a ``queue <port>`` counter ("C") series sampled at every recorded
+      enqueue/dequeue, with post-operation packet and byte occupancy;
+    * a ``util <link>`` counter series: delivered bytes per time bin as
+      Mbit/s (``utilization_bin_s``; default splits the recorded span into
+      50 bins).
+    """
+    from .flightrec import (DEQUEUE, DELIVER, ENQUEUE, FAULT, REC_A, REC_B,
+                            REC_KIND, REC_NODE, REC_PACKET, REC_SITE,
+                            REC_TIME)
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": MAIN_TRACK_TID,
+        "args": {"name": process_name},
+    }]
+    records = log.records
+    if not records:
+        return events
+    origin = min(record[REC_TIME] for record in records)
+    last = max(record[REC_TIME] for record in records)
+
+    # --- per-node packet lifelines ("X" slices on per-node thread tracks)
+    per_node: dict[str, dict[int, list[tuple]]] = {}
+    for record in records:
+        if record[REC_KIND] == FAULT:
+            continue
+        per_node.setdefault(record[REC_NODE], {}) \
+            .setdefault(record[REC_PACKET], []).append(record)
+    tids: dict[str, int] = {}
+    for node in sorted(per_node):
+        tid = tids[node] = len(tids) + 1
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": node}})
+        for packet_id, recs in sorted(per_node[node].items()):
+            start = recs[0][REC_TIME]
+            events.append({
+                "name": f"pkt {packet_id}",
+                "ph": "X",
+                "ts": (start - origin) * 1e6,
+                "dur": (recs[-1][REC_TIME] - start) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {"records": len(recs),
+                         "last": recs[-1][REC_KIND]},
+            })
+
+    # --- queue occupancy counters (one "C" sample per enqueue/dequeue)
+    for record in records:
+        if record[REC_KIND] in (ENQUEUE, DEQUEUE):
+            events.append({
+                "name": f"queue {record[REC_SITE]}",
+                "ph": "C",
+                "ts": (record[REC_TIME] - origin) * 1e6,
+                "pid": pid,
+                "tid": MAIN_TRACK_TID,
+                "args": {"packets": record[REC_A], "bytes": record[REC_B]},
+            })
+
+    # --- link utilization counters (delivered bytes per bin, as Mbit/s)
+    span = last - origin
+    bin_s = utilization_bin_s if utilization_bin_s else \
+        (span / 50.0 if span > 0 else 0.0)
+    if bin_s > 0:
+        bins: dict[str, dict[int, int]] = {}
+        for record in records:
+            if record[REC_KIND] == DELIVER and record[REC_B]:
+                link_bins = bins.setdefault(record[REC_B], {})
+                index = int((record[REC_TIME] - origin) / bin_s)
+                link_bins[index] = link_bins.get(index, 0) + record[REC_A]
+        for link in sorted(bins):
+            for index in sorted(bins[link]):
+                mbps = bins[link][index] * 8.0 / bin_s / 1e6
+                events.append({
+                    "name": f"util {link}",
+                    "ph": "C",
+                    "ts": index * bin_s * 1e6,
+                    "pid": pid,
+                    "tid": MAIN_TRACK_TID,
+                    "args": {"mbps": round(mbps, 6)},
+                })
+    return events
+
+
+def write_network_trace(log: "JourneyLog", path: Union[str, Path], *,
+                        pid: int = 2, process_name: str = "repro.network",
+                        utilization_bin_s: Optional[float] = None) -> dict:
+    """Write a journey log's network timeline to ``path`` (trace JSON)."""
+    trace = {
+        "traceEvents": network_trace_events(
+            log, pid=pid, process_name=process_name,
+            utilization_bin_s=utilization_bin_s),
         "displayTimeUnit": "ms",
     }
     Path(path).write_text(json.dumps(trace, indent=2) + "\n", encoding="utf-8")

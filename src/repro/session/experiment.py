@@ -9,10 +9,10 @@ TPP applications, and the instantiated workloads.  It is created by
 Determinism contract: building an experiment performs every step in a fixed
 order — topology, ECMP salting, stacks, TPP deployments (in declaration
 order), workloads (in declaration order), the fault plane (injector then
-remediation, each on its own seed), setup hooks (in declaration order) —
-and all workload randomness flows from one ``random.Random(seed)``, so two
-experiments built from equal scenarios produce byte-identical event
-sequences.
+remediation, each on its own seed), the flight recorder (pure observation:
+no draws, no events), setup hooks (in declaration order) — and all workload
+randomness flows from one ``random.Random(seed)``, so two experiments built
+from equal scenarios produce byte-identical event sequences.
 """
 
 from __future__ import annotations
@@ -207,6 +207,29 @@ class Experiment:
                 self.network, rspec, self.apps[rspec.app], self.sim,
                 collector=collector)
             self.remediation.start()
+
+        # Flight recorder (repro.obs.flightrec): attached after the fault
+        # plane so link-state changes are recorded from the first scheduled
+        # event, and before setup hooks so hook-driven traffic is visible.
+        # Recording is pure observation — the run stays byte-identical.
+        self.flight_recorder = None
+        if scenario.recorder_spec is not None:
+            from repro.obs import FlightRecorder
+            rspec = scenario.recorder_spec
+            with span("build.flightrec", capacity=rspec.capacity,
+                      sample_every=rspec.sample_every):
+                app_ids = None
+                if rspec.apps is not None:
+                    unknown = [name for name in rspec.apps
+                               if name not in self.apps]
+                    if unknown:
+                        raise ValueError(
+                            f"flight recorder filters on apps {unknown}, "
+                            f"which are not deployed; have {sorted(self.apps)}")
+                    app_ids = [self.apps[name].application.app_id
+                               for name in rspec.apps]
+                self.flight_recorder = FlightRecorder(rspec).attach(
+                    self.network, app_ids=app_ids)
 
         with span("build.hooks", hooks=len(scenario.setup_hooks)):
             for hook in scenario.setup_hooks:
@@ -406,6 +429,11 @@ class Experiment:
             self._finish()
         if self.telemetry.enabled:
             self._result.telemetry = self.telemetry.snapshot()
+        if self.flight_recorder is not None:
+            # Side channels, like telemetry: excluded from every canonical
+            # artifact so recorder on/off results stay byte-identical.
+            self._result.flightrec = self.flight_recorder.stats()
+            self._result.journeys = self.flight_recorder.log()
         return self._result
 
     def _finish(self) -> None:
@@ -592,6 +620,11 @@ class ExperimentResult:
     # Deliberately excluded from every canonical artifact — see
     # docs/ARCHITECTURE.md, "no-perturbation invariant".
     telemetry: Optional[dict] = None
+    # Flight-recorder side channels (same exclusion rule): the recorder's
+    # accounting counters and the picklable JourneyLog of recorded packet
+    # journeys, when the scenario declared .flight_recorder(...), else None.
+    flightrec: Optional[dict] = None
+    journeys: Optional[Any] = None            # repro.obs.JourneyLog
 
     # ----------------------------------------------------------- live handles
     @property
@@ -605,6 +638,26 @@ class ExperimentResult:
     @property
     def sim(self) -> Simulator:
         return self.experiment.sim
+
+    # --------------------------------------------------------- flight recorder
+    def _journeys(self):
+        if self.journeys is None:
+            raise TypeError(
+                "no flight-recorder data on this result; build the scenario "
+                "with .flight_recorder(...)")
+        return self.journeys
+
+    def journey(self, packet_id: int):
+        """One recorded packet's ordered hop records (or None)."""
+        return self._journeys().journey(packet_id)
+
+    def trace_flow(self, flow_id: int) -> list:
+        """Every recorded packet journey of one flow."""
+        return self._journeys().trace_flow(flow_id)
+
+    def explain_drop(self, packet_id: Optional[int] = None, **filters):
+        """Drop forensics (see :meth:`repro.obs.JourneyLog.explain_drop`)."""
+        return self._journeys().explain_drop(packet_id, **filters)
 
     # ------------------------------------------------------------ per-app data
     def _app(self, app: Optional[str]) -> DeployedApplication:

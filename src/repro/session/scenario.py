@@ -51,7 +51,12 @@ every random draw taken from one ``random.Random(seed)``:
    :class:`~repro.faults.RemediationController` loop is started.  Both
    draw from their *own* seeds (never the master rng), so an empty plan
    leaves the run byte-identical to one with no fault plane at all;
-9. **setup hooks** — each ``.setup(...)`` hook, in declaration order.
+9. **flight recorder** — with ``.flight_recorder(...)``, the
+   :class:`~repro.obs.FlightRecorder` is attached to every node, port and
+   link.  Recording is pure observation (no random draws, no scheduled
+   events, no packet mutation), so a run with the recorder on is
+   byte-identical to the same run with it off;
+10. **setup hooks** — each ``.setup(...)`` hook, in declaration order.
 
 Because the order is fixed and the seed flows from one rng, equal
 scenarios with equal seeds produce byte-identical event sequences — the
@@ -171,6 +176,7 @@ class Scenario:
         self.collector_spec: Optional[CollectorSpec] = None
         self.fault_spec = None                   # Optional[FaultSpec]
         self.remediation_spec = None             # Optional[RemediationSpec]
+        self.recorder_spec = None                # Optional[obs.RecorderSpec]
         self.tpp_specs: list[TppSpec] = []
         self.workload_specs: list[WorkloadSpec] = []
         self.setup_hooks: list[Hook] = []
@@ -386,6 +392,42 @@ class Scenario:
         if spec.policy not in POLICIES:
             POLICIES.get(spec.policy)        # raises with the registered menu
         self.remediation_spec = spec
+        return self
+
+    def flight_recorder(self, spec=None, *, capacity: int = 4096,
+                        sample_every: int = 1,
+                        apps: Optional[list[str]] = None,
+                        links: Optional[list[str]] = None) -> "Scenario":
+        """Declare the dataplane flight recorder (see
+        :mod:`repro.obs.flightrec`).
+
+        Accepts a pre-built :class:`~repro.obs.RecorderSpec` (used as-is)
+        or policy knobs: ``capacity`` (per-node ring-buffer records),
+        ``sample_every`` (record 1-in-N flows by stable flow-id hash;
+        drops are always recorded), ``apps`` (only packets carrying a TPP
+        of these declared applications), ``links`` (tap only ports on
+        these link names).  Validation is eager — bad knobs fail here.
+
+        Recording is pure observation: the run's event sequence and
+        canonical result are byte-identical with the recorder on or off
+        (differential-tested on all six apps).  The recorded journeys land
+        on ``result.journeys`` and the counters on ``result.flightrec``.
+        """
+        from repro.obs import RecorderSpec
+        if isinstance(spec, RecorderSpec):
+            if apps is not None or links is not None or capacity != 4096 \
+                    or sample_every != 1:
+                raise ValueError("pass either a RecorderSpec or policy "
+                                 "kwargs, not both")
+            self.recorder_spec = spec
+        elif spec is None:
+            self.recorder_spec = RecorderSpec(
+                capacity=capacity, sample_every=sample_every,
+                apps=tuple(apps) if apps is not None else None,
+                links=tuple(links) if links is not None else None)
+        else:
+            raise TypeError(f"flight_recorder() takes a RecorderSpec or "
+                            f"policy kwargs; got {type(spec).__name__}")
         return self
 
     def collect(self, on_tpp: Callable, *, app: Optional[str] = None) -> "Scenario":

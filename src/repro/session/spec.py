@@ -190,6 +190,7 @@ class ScenarioSpec:
     collector: Optional[Any] = None               # CollectorSpec
     faults: Optional[Any] = None                  # FaultSpec
     remediation: Optional[Any] = None             # RemediationSpec
+    recorder: Optional[Any] = None                # obs.RecorderSpec
     tpps: list[Any] = field(default_factory=list)         # TppSpec
     workloads: list[Any] = field(default_factory=list)    # WorkloadSpec
     setup_hooks: list[Any] = field(default_factory=list)
@@ -212,6 +213,7 @@ class ScenarioSpec:
             collector=copy.deepcopy(scenario.collector_spec),
             faults=copy.deepcopy(scenario.fault_spec),
             remediation=copy.deepcopy(scenario.remediation_spec),
+            recorder=copy.deepcopy(scenario.recorder_spec),
             tpps=copy.deepcopy(scenario.tpp_specs),
             workloads=copy.deepcopy(scenario.workload_specs),
             setup_hooks=list(scenario.setup_hooks),
@@ -233,6 +235,8 @@ class ScenarioSpec:
             ensure_picklable(self.faults, "fault spec")
         if self.remediation is not None:
             ensure_picklable(self.remediation, "remediation spec")
+        if self.recorder is not None:
+            ensure_picklable(self.recorder, "recorder spec")
         for tpp in self.tpps:
             where = f"tpp {tpp.name!r}"
             ensure_picklable(tpp.program, f"{where} program")
@@ -267,6 +271,7 @@ class ScenarioSpec:
         scenario.collector_spec = copy.deepcopy(self.collector)
         scenario.fault_spec = copy.deepcopy(self.faults)
         scenario.remediation_spec = copy.deepcopy(self.remediation)
+        scenario.recorder_spec = copy.deepcopy(self.recorder)
         scenario.tpp_specs = copy.deepcopy(self.tpps)
         scenario.workload_specs = copy.deepcopy(self.workloads)
         scenario.setup_hooks = list(self.setup_hooks)
@@ -339,6 +344,13 @@ class ResultSummary:
     # snapshot when one was enabled.  Never part of as_jsonable() — the
     # canonical artifact must be byte-identical with telemetry on or off.
     telemetry: Optional[dict] = None
+    # Flight-recorder side channels (same exclusion rule): the recorder's
+    # accounting counters and the picklable JourneyLog, when the scenario
+    # declared .flight_recorder(...).  This is how journey()/explain_drop()
+    # round-trip through a sweep worker: the log's plain tuples pickle home
+    # and the query API works identically in the parent.
+    flightrec: Optional[dict] = None
+    journeys: Optional[Any] = None                # repro.obs.JourneyLog
 
     @classmethod
     def from_result(cls, result: "ExperimentResult") -> "ResultSummary":
@@ -368,7 +380,29 @@ class ResultSummary:
                    seed=result.seed, duration_s=result.duration_s,
                    end_time_s=result.end_time_s, counters=counters,
                    app_summaries=app_summaries,
-                   telemetry=result.telemetry)
+                   telemetry=result.telemetry,
+                   flightrec=result.flightrec,
+                   journeys=result.journeys)
+
+    # --------------------------------------------------------- flight recorder
+    def _journeys(self):
+        if self.journeys is None:
+            raise TypeError(
+                "no flight-recorder data on this summary; build the scenario "
+                "with .flight_recorder(...)")
+        return self.journeys
+
+    def journey(self, packet_id: int):
+        """One recorded packet's ordered hop records (or None)."""
+        return self._journeys().journey(packet_id)
+
+    def trace_flow(self, flow_id: int) -> list:
+        """Every recorded packet journey of one flow."""
+        return self._journeys().trace_flow(flow_id)
+
+    def explain_drop(self, packet_id: Optional[int] = None, **filters):
+        """Drop forensics (see :meth:`repro.obs.JourneyLog.explain_drop`)."""
+        return self._journeys().explain_drop(packet_id, **filters)
 
     # ------------------------------------------------------------ monoid face
     def bundle(self) -> "SummaryBundle":

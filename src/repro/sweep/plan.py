@@ -26,6 +26,9 @@ Axis paths address the spec declaratively::
                               onset_s, seed, ...)
     remediation.<field>       a .remediation(...) knob (policy, period_s,
                               threshold, min_path_diversity, ...)
+    recorder.<field>          a .flight_recorder(...) knob (capacity,
+                              sample_every, apps, links); materialises a
+                              default RecorderSpec when the base has none
     workload.<name>.<kwarg>   a keyword of the named workload declaration
     tpp.<name>.<field>        a field of the named TPP declaration
                               (sample_frequency, num_hops, priority, ...)
@@ -44,6 +47,7 @@ from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.collect import ShedSpec, TreeSpec
 from repro.faults import FaultSpec, RemediationSpec
+from repro.obs import RecorderSpec
 from repro.session import Scenario, ScenarioSpec
 from repro.session.scenario import CollectorSpec
 from repro.session.spec import SpecError, ensure_picklable
@@ -153,6 +157,18 @@ def _apply_override(spec: ScenarioSpec, path: str, value: Any) -> None:
                             f"field {rest!r}")
         spec.remediation = replace(spec.remediation, **{rest: value})
         return
+    if head == "recorder":
+        if not rest or "." in rest:
+            raise SpecError(f"axis path {path!r} must be recorder.<field>")
+        if spec.recorder is None:
+            spec.recorder = RecorderSpec()
+        if rest not in {f.name for f in fields(RecorderSpec)}:
+            raise SpecError(f"axis path {path!r}: RecorderSpec has no "
+                            f"field {rest!r}")
+        # RecorderSpec is frozen; replace() re-runs its validation, so bad
+        # axis values (capacity=0, ...) fail at declaration time.
+        spec.recorder = replace(spec.recorder, **{rest: value})
+        return
     if head == "workload":
         wname, _, kwarg = rest.partition(".")
         if not wname or not kwarg:
@@ -178,7 +194,7 @@ def _apply_override(spec: ScenarioSpec, path: str, value: Any) -> None:
                         f"(have {[t.name for t in spec.tpps]})")
     raise SpecError(
         f"axis path {path!r}: unknown root {head!r}; expected one of "
-        f"{_SCALAR_PATHS + ('topology', 'collector', 'faults', 'remediation', 'workload', 'tpp')}")
+        f"{_SCALAR_PATHS + ('topology', 'collector', 'faults', 'remediation', 'recorder', 'workload', 'tpp')}")
 
 
 class SweepSpec:

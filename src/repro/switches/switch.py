@@ -153,6 +153,8 @@ class TPPSwitch(Node):
     def _receive_one(self, packet: Packet, in_index: int,
                      context: PacketContext) -> None:
         packet.record_hop(self.name)
+        if self.recorder is not None:
+            self.recorder.on_switch_recv(self, packet, in_index)
         result = self._lookup_cache.process(packet)
 
         action = result.action
@@ -186,6 +188,8 @@ class TPPSwitch(Node):
                                                       context)
                 if execution.packet_full:
                     self.tpps_packet_full += 1
+                if self.recorder is not None:
+                    self.recorder.on_tpp_exec(self, packet, execution)
                 packet.tpp.advance_hop()
                 # A TPP may have rewritten the packet's output port (Table 2
                 # marks it writable); honour the redirection.
@@ -219,6 +223,12 @@ class TPPSwitch(Node):
         packet.dropped = True
         packet.drop_reason = reason
         self.packets_dropped += 1
+        if self.recorder is not None:
+            # Pipeline drops (drop action, invalid output port, no return
+            # route) have no Port.drops_by_reason category; the recorder
+            # files them under "pipeline" at the switch itself.
+            self.recorder.on_drop(self.name, self.name, packet,
+                                  "pipeline", reason)
         if self.drop_callback is not None:
             self.drop_callback(packet, self)
 

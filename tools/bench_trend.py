@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Aggregate the committed ``BENCH_*.json`` artifacts into one trend report.
+
+Every benchmark writes its artifact through ``benchmarks/_provenance.py``,
+so each carries a ``provenance`` block (git commit, python, host, cpu
+count) answering "which code produced this number?".  This tool walks all
+``BENCH_*.json`` files in the repo root (or a given directory), *fails*
+when any artifact is missing a valid provenance block — an unstamped
+number is untrustworthy and un-trendable — and prints the performance
+trajectory: the headline metrics (events/sec, wall times, speedups,
+ratios) per artifact alongside the commit that produced them.
+
+Exit status 0 when every artifact validates, 1 otherwise (one
+``file: message`` line per violation), 2 when no artifacts are found.
+
+Usage::
+
+    python tools/bench_trend.py            # scan the repo root
+    python tools/bench_trend.py some/dir   # scan a directory
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+#: A provenance block must carry these keys (from repro.obs.provenance).
+REQUIRED_PROVENANCE = {
+    "git_commit": str,
+    "python": str,
+    "implementation": str,
+    "platform": str,
+    "machine": str,
+    "cpu_count": int,
+}
+
+#: Leaf keys that count as headline metrics in the trend report.
+HEADLINE_KEY = re.compile(
+    r"(_per_s$|_per_sec$|speedup|^wall_s$|_wall_s$|ratio$|reduction$|"
+    r"^overhead$|^measured$)")
+
+#: Tree branches that are per-run noise, not trajectory.
+SKIP_BRANCHES = {"provenance", "runs"}
+
+
+def validate_provenance(artifact: dict) -> list[str]:
+    """Violations in one loaded artifact's provenance block (empty = valid)."""
+    block = artifact.get("provenance")
+    if not isinstance(block, dict):
+        return ["missing 'provenance' block (write the artifact through "
+                "benchmarks/_provenance.write_artifact)"]
+    errors = []
+    for key, kind in REQUIRED_PROVENANCE.items():
+        value = block.get(key)
+        if not isinstance(value, kind) or (kind is str and not value):
+            errors.append(f"provenance.{key} must be a non-empty "
+                          f"{kind.__name__}, got {value!r}")
+    return errors
+
+
+def headline_metrics(node, prefix: str = "") -> list[tuple[str, float]]:
+    """Flatten the numeric leaves whose keys look like headline metrics."""
+    metrics: list[tuple[str, float]] = []
+    if not isinstance(node, dict):
+        return metrics
+    for key, value in node.items():
+        if key in SKIP_BRANCHES:
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            metrics.extend(headline_metrics(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and math.isfinite(value) and HEADLINE_KEY.search(key):
+            metrics.append((path, float(value)))
+    return metrics
+
+
+def _format_metric(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def report(paths: list[Path]) -> tuple[list[str], list[str]]:
+    """(report lines, violation lines) over the artifact files."""
+    lines: list[str] = []
+    violations: list[str] = []
+    for path in paths:
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            violations.append(f"{path}: {exc}")
+            continue
+        if not isinstance(artifact, dict):
+            violations.append(f"{path}: top level must be an object")
+            continue
+        problems = validate_provenance(artifact)
+        violations.extend(f"{path}: {problem}" for problem in problems)
+        if problems:
+            continue
+        commit = artifact["provenance"]["git_commit"]
+        lines.append(f"{path.name}  [{artifact.get('benchmark', '?')}]"
+                     f"  @ {commit[:12]}")
+        metrics = headline_metrics(artifact)
+        if not metrics:
+            lines.append("    (no headline metrics)")
+        for name, value in metrics:
+            lines.append(f"    {name:<44s} {_format_metric(value):>14s}")
+    return lines, violations
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"{root}: not a directory", file=sys.stderr)
+        return 2
+    paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print(f"{root}: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 2
+    lines, violations = report(paths)
+    for line in violations:
+        print(line)
+    if lines:
+        print(f"benchmark trajectory ({len(paths)} artifacts in {root}):")
+        for line in lines:
+            print(f"  {line}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
 """Validate a Chrome/Perfetto trace-event JSON file's minimal schema.
 
-The exporter (:mod:`repro.obs.perfetto`) emits the *JSON Object Format*:
-a top-level object with a ``traceEvents`` list of ``"X"`` (complete) and
-``"M"`` (metadata) events.  This checker pins the subset the repo relies
-on, so CI catches a malformed export before anyone loads it into
-https://ui.perfetto.dev:
+The exporters (:mod:`repro.obs.perfetto`) emit the *JSON Object Format*:
+a top-level object with a ``traceEvents`` list of ``"X"`` (complete),
+``"C"`` (counter — the network exporter's queue-occupancy and
+link-utilization series), and ``"M"`` (metadata) events.  This checker
+pins the subset the repo relies on, so CI catches a malformed export
+before anyone loads it into https://ui.perfetto.dev:
 
 * the top level is an object with a ``traceEvents`` list;
 * every event is an object with string ``ph`` and ``name``, and integer
   ``pid`` / ``tid``;
 * ``"X"`` events carry finite numeric ``ts`` and ``dur >= 0``, and
   ``args`` (when present) is an object;
+* ``"C"`` events carry finite numeric ``ts`` and a non-empty ``args``
+  object whose values are all finite numbers (each key is one counter
+  series on the track);
 * ``"M"`` events name a known metadata record (``process_name`` /
   ``thread_name``) and carry a ``name`` arg inside ``args``;
+* per-track metadata is consistent: every ``tid`` that carries ``"X"``
+  slices is either the main track (tid 0) or is named by exactly one
+  ``thread_name`` record for its ``(pid, tid)``;
 * no other phases are emitted.
 
 Exit status 0 when the file validates, 1 otherwise (one
@@ -32,8 +39,8 @@ import math
 import sys
 from pathlib import Path
 
-#: The only phases the exporter emits.
-ALLOWED_PHASES = {"X", "M"}
+#: The only phases the exporters emit.
+ALLOWED_PHASES = {"X", "C", "M"}
 
 #: The metadata records the exporter emits.
 ALLOWED_METADATA = {"process_name", "thread_name"}
@@ -52,6 +59,10 @@ def validate_trace(trace) -> list[str]:
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         return ["top level must have a 'traceEvents' list"]
+    # Per-track metadata accounting: (pid, tid) -> thread_name record count,
+    # plus the (pid, tid) pairs that carry slices and need naming.
+    named_tracks: dict[tuple, int] = {}
+    slice_tracks: set[tuple] = set()
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -71,6 +82,7 @@ def validate_trace(trace) -> list[str]:
         args = event.get("args")
         if args is not None and not isinstance(args, dict):
             errors.append(f"{where}: args must be an object")
+        track = (event.get("pid"), event.get("tid"))
         if phase == "X":
             for field in ("ts", "dur"):
                 if not _is_finite_number(event.get(field)):
@@ -78,6 +90,18 @@ def validate_trace(trace) -> list[str]:
                                   f"numeric {field}")
             if _is_finite_number(event.get("dur")) and event["dur"] < 0:
                 errors.append(f"{where}: dur must be >= 0")
+            slice_tracks.add(track)
+        elif phase == "C":
+            if not _is_finite_number(event.get("ts")):
+                errors.append(f"{where}: C event needs finite numeric ts")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: C event needs a non-empty args "
+                              f"object (the counter values)")
+            else:
+                for key, value in args.items():
+                    if not _is_finite_number(value):
+                        errors.append(f"{where}: counter args[{key!r}] must "
+                                      f"be a finite number, got {value!r}")
         else:                                   # "M"
             if event.get("name") not in ALLOWED_METADATA:
                 errors.append(f"{where}: metadata name must be one of "
@@ -85,6 +109,19 @@ def validate_trace(trace) -> list[str]:
             if not isinstance(args, dict) \
                     or not isinstance(args.get("name"), str):
                 errors.append(f"{where}: metadata needs args.name string")
+            elif event.get("name") == "thread_name":
+                named_tracks[track] = named_tracks.get(track, 0) + 1
+    for track in sorted(slice_tracks, key=str):
+        pid, tid = track
+        if tid == 0:
+            continue                             # the main track is implicit
+        count = named_tracks.get(track, 0)
+        if count == 0:
+            errors.append(f"track pid={pid} tid={tid} carries X slices but "
+                          f"has no thread_name metadata record")
+        elif count > 1:
+            errors.append(f"track pid={pid} tid={tid} is named by {count} "
+                          f"thread_name records; expected exactly one")
     return errors
 
 
